@@ -1,0 +1,134 @@
+//! Changing environments for the agent testbed.
+//!
+//! The environment is a target configuration the organisms must track
+//! (§4.4: "resilient to a changing environment"). Three canonical kinds:
+//! static, steadily drifting, and punctuated by large shocks.
+
+use rand::Rng;
+
+use resilience_core::Config;
+
+/// How the target changes over time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvironmentKind {
+    /// The target never changes.
+    Static,
+    /// `bits_per_step` target bits flip every step (gradual drift).
+    Drift {
+        /// Bits flipped per step.
+        bits_per_step: usize,
+    },
+    /// Every `period` steps, `bits` target bits flip at once (X-events).
+    Shocks {
+        /// Steps between shocks.
+        period: usize,
+        /// Bits flipped per shock.
+        bits: usize,
+    },
+}
+
+/// The environment: a target configuration plus its change law.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Environment {
+    target: Config,
+    kind: EnvironmentKind,
+    time: usize,
+}
+
+impl Environment {
+    /// New environment with an initial target.
+    pub fn new(target: Config, kind: EnvironmentKind) -> Self {
+        Environment {
+            target,
+            kind,
+            time: 0,
+        }
+    }
+
+    /// Random initial target of `n_bits`.
+    pub fn random<R: Rng + ?Sized>(n_bits: usize, kind: EnvironmentKind, rng: &mut R) -> Self {
+        Environment::new(Config::random(n_bits, rng), kind)
+    }
+
+    /// The current target.
+    pub fn target(&self) -> &Config {
+        &self.target
+    }
+
+    /// Elapsed steps.
+    pub fn time(&self) -> usize {
+        self.time
+    }
+
+    /// Advance one step; returns the number of target bits that changed.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        self.time += 1;
+        match self.kind {
+            EnvironmentKind::Static => 0,
+            EnvironmentKind::Drift { bits_per_step } => {
+                self.target.flip_random(bits_per_step, rng).len()
+            }
+            EnvironmentKind::Shocks { period, bits } => {
+                if period > 0 && self.time.is_multiple_of(period) {
+                    self.target.flip_random(bits, rng).len()
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::seeded_rng;
+
+    #[test]
+    fn static_environment_never_changes() {
+        let mut rng = seeded_rng(231);
+        let mut env = Environment::random(16, EnvironmentKind::Static, &mut rng);
+        let before = env.target().clone();
+        for _ in 0..50 {
+            assert_eq!(env.step(&mut rng), 0);
+        }
+        assert_eq!(env.target(), &before);
+        assert_eq!(env.time(), 50);
+    }
+
+    #[test]
+    fn drift_changes_every_step() {
+        let mut rng = seeded_rng(232);
+        let mut env = Environment::random(32, EnvironmentKind::Drift { bits_per_step: 2 }, &mut rng);
+        let before = env.target().clone();
+        assert_eq!(env.step(&mut rng), 2);
+        assert_eq!(env.target().hamming(&before).unwrap(), 2);
+    }
+
+    #[test]
+    fn shocks_fire_on_schedule() {
+        let mut rng = seeded_rng(233);
+        let mut env = Environment::random(
+            32,
+            EnvironmentKind::Shocks { period: 5, bits: 8 },
+            &mut rng,
+        );
+        let mut changes = Vec::new();
+        for _ in 0..10 {
+            changes.push(env.step(&mut rng));
+        }
+        assert_eq!(changes[4], 8);
+        assert_eq!(changes[9], 8);
+        assert_eq!(changes.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn zero_period_never_shocks() {
+        let mut rng = seeded_rng(234);
+        let mut env =
+            Environment::random(8, EnvironmentKind::Shocks { period: 0, bits: 4 }, &mut rng);
+        for _ in 0..10 {
+            assert_eq!(env.step(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! E14 kernel: one multi-agent simulation step/run, ablating the budget
+//! corners called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resilience_agents::budget::BudgetedParams;
+use resilience_agents::dynamics::{SimConfig, Simulation};
+use resilience_agents::environment::{Environment, EnvironmentKind};
+use resilience_core::{seeded_rng, BudgetAllocation, Strategy};
+
+fn bench_agents(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agents");
+    group.sample_size(20);
+    let allocations = [
+        ("uniform", BudgetAllocation::uniform()),
+        ("pure_redundancy", BudgetAllocation::pure(Strategy::Redundancy)),
+        ("pure_adaptability", BudgetAllocation::pure(Strategy::Adaptability)),
+    ];
+    for (name, alloc) in allocations {
+        group.bench_function(format!("run_100_steps/{name}"), |b| {
+            let params = BudgetedParams::from_allocation(&alloc);
+            b.iter(|| {
+                let mut rng = seeded_rng(5);
+                let env = Environment::random(
+                    32,
+                    EnvironmentKind::Drift { bits_per_step: 2 },
+                    &mut rng,
+                );
+                let mut sim = Simulation::new(SimConfig::default(), params, env, &mut rng);
+                sim.run(100, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_agents);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! §4.3 kernels: belief-state reasoning under uncertainty.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resilience_core::{AtLeastOnes, Config};
+use resilience_dcsp::belief::BeliefState;
+
+fn bench_belief(c: &mut Criterion) {
+    let mut group = c.benchmark_group("belief");
+    let n = 14;
+    group.bench_function("unobserved_damage_radius2", |b| {
+        let belief = BeliefState::certain(Config::ones(n));
+        b.iter(|| black_box(&belief).after_unobserved_damage(2))
+    });
+    let blown = BeliefState::certain(Config::ones(n)).after_unobserved_damage(2);
+    group.bench_function("observe_bit_over_large_belief", |b| {
+        b.iter(|| {
+            let mut belief = blown.clone();
+            belief.observe_bit(0, true);
+            belief
+        })
+    });
+    group.bench_function("conservative_repair", |b| {
+        let env = AtLeastOnes::new(n, n - 2);
+        b.iter(|| {
+            let mut belief = BeliefState::new(vec![
+                Config::zeros(n),
+                Config::from_u64(1, n),
+            ]);
+            belief.conservative_repair(&env, n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_belief);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E1 kernel: Bruneau loss integration and triangle analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resilience_core::bruneau::analyze_triangle;
+use resilience_core::{resilience_loss, QualityTrajectory};
+
+fn bench_bruneau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bruneau");
+    for &len in &[100usize, 10_000] {
+        let traj = QualityTrajectory::bruneau_shape(1.0, len / 4, 50.0, len / 2, len / 4);
+        group.bench_function(format!("resilience_loss/{len}"), |b| {
+            b.iter(|| resilience_loss(black_box(&traj)))
+        });
+        group.bench_function(format!("analyze_triangle/{len}"), |b| {
+            b.iter(|| analyze_triangle(black_box(&traj), 100.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bruneau);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E2 kernel: repair search and exhaustive k-recoverability, ablating the
+//! repair strategy (greedy vs BFS-optimal) called out in DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resilience_core::{seeded_rng, AllOnes, Config, ShockKind};
+use resilience_dcsp::recoverability::is_k_recoverable_exhaustive;
+use resilience_dcsp::repair::{BfsRepair, GreedyRepair, RepairStrategy};
+use resilience_dcsp::DcspSystem;
+use std::sync::Arc;
+
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dcsp_repair");
+    let n = 64;
+    let env = AllOnes::new(n);
+    let mut damaged = Config::ones(n);
+    let mut rng = seeded_rng(1);
+    damaged.flip_random(6, &mut rng);
+
+    group.bench_function("greedy_propose", |b| {
+        let greedy = GreedyRepair::new();
+        b.iter(|| greedy.propose_flip(black_box(&damaged), &env))
+    });
+    group.bench_function("bfs_shortest_plan_d3", |b| {
+        let mut small = Config::ones(12);
+        small.flip_random(3, &mut rng);
+        let bfs = BfsRepair::new(3);
+        let env12 = AllOnes::new(12);
+        b.iter(|| bfs.shortest_plan(black_box(&small), &env12))
+    });
+    group.bench_function("episode_shock_and_repair", |b| {
+        b.iter(|| {
+            let mut sys = DcspSystem::fit_under(Arc::new(AllOnes::new(n)));
+            sys.episode(
+                &ShockKind::BitDamage { flips: 5 },
+                &GreedyRepair::new(),
+                16,
+                &mut rng,
+            )
+        })
+    });
+    group.bench_function("exhaustive_k_recoverable_n10_d2", |b| {
+        let start = Config::ones(10);
+        let env10 = AllOnes::new(10);
+        b.iter(|| {
+            is_k_recoverable_exhaustive(black_box(&start), &env10, &GreedyRepair::new(), 2, 2)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E8/E9 kernels: storage-array lifetimes and N-version scenario batches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resilience_core::seeded_rng;
+use resilience_engineering::nversion::{DesignStrategy, NVersionController};
+use resilience_engineering::storage::StorageArray;
+use resilience_engineering::supply_chain::SupplyChain;
+
+fn bench_engineering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engineering");
+    let mut rng = seeded_rng(2);
+    group.bench_function("storage_lifetime_300steps", |b| {
+        let array = StorageArray::new(8, 2, 0.002, 2);
+        b.iter(|| array.simulate_to_loss(300, &mut rng))
+    });
+    group.bench_function("nversion_1000_scenarios", |b| {
+        let ctl = NVersionController::new(3, DesignStrategy::Diverse, 0.01, 0.01);
+        b.iter(|| ctl.run(1_000, &mut rng))
+    });
+    group.bench_function("supply_chain_outage", |b| {
+        let firm = SupplyChain::new(10.0, 5.0, 50.0);
+        b.iter(|| firm.simulate_outage(4, 12, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engineering);
+criterion_main!(benches);

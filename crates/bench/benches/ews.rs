@@ -1,0 +1,29 @@
+//! E12 kernel: bistable simulation and the EWS pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resilience_core::seeded_rng;
+use resilience_stats::bistable::{BistableProcess, CRITICAL_FORCING};
+use resilience_stats::ews::{early_warning_signals, kendall_tau, EwsConfig};
+
+fn bench_ews(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ews");
+    let mut rng = seeded_rng(4);
+    group.bench_function("bistable_simulate_10k", |b| {
+        let p = BistableProcess::default();
+        b.iter(|| p.simulate_ramp(10_000, -0.25, CRITICAL_FORCING, &mut rng))
+    });
+    let p = BistableProcess::default();
+    let run = p.simulate_ramp(20_000, -0.25, -0.25, &mut rng);
+    group.bench_function("ews_pipeline_20k", |b| {
+        b.iter(|| early_warning_signals(black_box(&run.series), 20_000, &EwsConfig::default()))
+    });
+    let xs: Vec<f64> = (0..300).map(|i| i as f64).collect();
+    let ys: Vec<f64> = (0..300).map(|i| (i * i % 97) as f64).collect();
+    group.bench_function("kendall_tau_300", |b| {
+        b.iter(|| kendall_tau(black_box(&xs), black_box(&ys)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ews);
+criterion_main!(benches);

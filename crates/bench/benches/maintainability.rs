@@ -1,0 +1,23 @@
+//! E3 kernel: K-maintainability policy construction scaling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resilience_core::AtLeastOnes;
+use resilience_dcsp::maintainability::TransitionSystem;
+
+fn bench_maintainability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintainability");
+    for &n in &[8usize, 12] {
+        let env = AtLeastOnes::new(n, n - 2);
+        let ts = TransitionSystem::from_bit_dcsp(n, &env, 2);
+        group.bench_function(format!("analyze/{n}bits"), |b| {
+            b.iter(|| black_box(&ts).analyze())
+        });
+        group.bench_function(format!("analyze_adversarial/{n}bits"), |b| {
+            b.iter(|| black_box(&ts).analyze_adversarial())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintainability);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E11 kernel: MAPE loop tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resilience_core::seeded_rng;
+use resilience_engineering::mape::MapeLoop;
+
+fn bench_mape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mape");
+    let mut rng = seeded_rng(3);
+    for &rate in &[1usize, 8] {
+        group.bench_function(format!("track_500_steps/rate{rate}"), |b| {
+            let m = MapeLoop::new(64, rate, 0.0);
+            b.iter(|| m.track_drift(500, 3, &mut rng))
+        });
+    }
+    group.bench_function("recovery_time", |b| {
+        let m = MapeLoop::new(64, 4, 0.0);
+        b.iter(|| m.recovery_time(12, 100, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mape);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E15 kernel: graph generation and attack sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resilience_core::seeded_rng;
+use resilience_networks::attack::{attack_sweep, AttackStrategy};
+use resilience_networks::generators::{barabasi_albert, erdos_renyi};
+
+fn bench_percolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("percolation");
+    group.sample_size(20);
+    let mut rng = seeded_rng(6);
+    group.bench_function("barabasi_albert_2000", |b| {
+        b.iter(|| barabasi_albert(2_000, 2, &mut rng))
+    });
+    group.bench_function("erdos_renyi_2000", |b| {
+        b.iter(|| erdos_renyi(2_000, 4.0 / 2_000.0, &mut rng))
+    });
+    let ba = barabasi_albert(2_000, 2, &mut rng);
+    for strategy in [AttackStrategy::Random, AttackStrategy::TargetedByDegree] {
+        group.bench_function(format!("attack_sweep_1000/{strategy:?}"), |b| {
+            b.iter(|| attack_sweep(&ba, strategy, 1_000, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_percolation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E4/E5 kernels: replicator steps and diversity indices, ablating the
+//! fitness shape (linear vs density-dependent) called out in DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resilience_ecology::diversity::{diversity_index, shannon_entropy};
+use resilience_ecology::fitness::{DensityDependent, LinearFitness};
+use resilience_ecology::replicator::ReplicatorSim;
+use std::sync::Arc;
+
+fn bench_replicator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replicator");
+    let n = 64;
+    group.bench_function("step/linear", |b| {
+        let mut sim = ReplicatorSim::uniform(Arc::new(LinearFitness::graded(n, 0.01)));
+        b.iter(|| sim.step())
+    });
+    group.bench_function("step/density_dependent", |b| {
+        let base: Vec<f64> = (0..n).map(|i| 1.0 + 0.01 * i as f64).collect();
+        let mut sim = ReplicatorSim::uniform(Arc::new(DensityDependent::new(base, 0.9)));
+        b.iter(|| sim.step())
+    });
+    let pops: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+    group.bench_function("diversity_index/200", |b| {
+        b.iter(|| diversity_index(black_box(&pops)))
+    });
+    group.bench_function("shannon_entropy/200", |b| {
+        b.iter(|| shannon_entropy(black_box(&pops)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replicator);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E16 kernel: sandpile drops at criticality, ablating the intervention
+//! policy called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resilience_core::seeded_rng;
+use resilience_networks::sandpile::{InterventionPolicy, Sandpile};
+
+fn bench_sandpile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sandpile");
+    group.sample_size(20);
+    let mut rng = seeded_rng(7);
+    let mut critical = Sandpile::new(40, 40);
+    critical.warm_up(60_000, &mut rng);
+    let policies = [
+        ("none", InterventionPolicy::None),
+        (
+            "targeted_relief",
+            InterventionPolicy::TargetedRelief {
+                period: 5,
+                budget: 40,
+            },
+        ),
+        (
+            "random_relief",
+            InterventionPolicy::RandomRelief {
+                period: 5,
+                budget: 40,
+            },
+        ),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(format!("run_2000_drops/{name}"), |b| {
+            b.iter(|| {
+                let mut pile = critical.clone();
+                pile.run(2_000, policy, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sandpile);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E13 kernels: heavy-tail sampling and tail-index estimation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use resilience_core::seeded_rng;
+use resilience_stats::distributions::{Pareto, Sampler};
+use resilience_stats::tail::{ccdf, fit_pareto_mle, hill_estimator};
+
+fn bench_tail(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tail");
+    let pareto = Pareto::new(1.0, 1.5).expect("valid");
+    let mut rng = seeded_rng(8);
+    group.bench_function("pareto_sample_1000", |b| {
+        b.iter(|| -> f64 { (0..1_000).map(|_| pareto.sample(&mut rng)).sum() })
+    });
+    let data: Vec<f64> = (0..20_000).map(|_| pareto.sample(&mut rng)).collect();
+    group.bench_function("mle_fit_20k", |b| {
+        b.iter(|| fit_pareto_mle(black_box(&data), 1.0))
+    });
+    group.bench_function("hill_20k_k2000", |b| {
+        b.iter(|| hill_estimator(black_box(&data), 2_000))
+    });
+    group.bench_function("ccdf_20k", |b| b.iter(|| ccdf(black_box(&data))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tail);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E17 kernels: adversarial attack search vs. random testing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resilience_core::{seeded_rng, AllOnes, Config};
+use resilience_dcsp::repair::GreedyRepair;
+use resilience_dcsp::tiger_team::{random_testing, TigerTeam};
+
+fn bench_tiger(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiger_team");
+    group.sample_size(20);
+    let n = 24;
+    let env = AllOnes::new(n);
+    let start = Config::ones(n);
+    group.bench_function("beam_search_d3_w4", |b| {
+        let team = TigerTeam::new(3, 4);
+        b.iter(|| team.search(&start, &env, &GreedyRepair::new(), 3))
+    });
+    group.bench_function("random_testing_200", |b| {
+        let mut rng = seeded_rng(9);
+        b.iter(|| random_testing(&start, &env, &GreedyRepair::new(), 3, 3, 200, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiger);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerate the paper-reproduction tables (E1–E16).
+//!
+//! Usage:
+//!
+//! ```bash
+//! experiments                 # run everything, Markdown to stdout
+//! experiments e4 e15          # selected experiments
+//! experiments --seed 7 e12    # override the master seed
+//! experiments --json e1       # machine-readable output
+//! ```
+
+use resilience_bench::experiments::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    let mut json = false;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--seed N] [--json] [e1 e2 ... e22]");
+                return;
+            }
+            other => wanted.push(other.to_ascii_lowercase()),
+        }
+    }
+    let reg = registry();
+    let selected: Vec<_> = if wanted.is_empty() {
+        reg
+    } else {
+        for w in &wanted {
+            if !reg.iter().any(|(id, _)| id == w) {
+                die(&format!("unknown experiment `{w}` (expected e1..e22)"));
+            }
+        }
+        reg.into_iter()
+            .filter(|(id, _)| wanted.iter().any(|w| w == id))
+            .collect()
+    };
+    for (id, runner) in selected {
+        eprintln!("running {id}…");
+        let table = runner(seed);
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&table).expect("tables serialize")
+            );
+        } else {
+            println!("{}", table.to_markdown());
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

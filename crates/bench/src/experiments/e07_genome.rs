@@ -1,0 +1,85 @@
+//! E7 — redundant genomes and dormant traits (paper §3.1.1, Fig. 1).
+
+use resilience_core::seeded_rng;
+use resilience_ecology::dormant::DormantTraitModel;
+use resilience_ecology::genome::RedundantGenome;
+
+use crate::table::ExperimentTable;
+
+/// Run E7.
+pub fn run(seed: u64) -> ExperimentTable {
+    let mut rng = seeded_rng(seed.wrapping_add(7));
+    let mut rows = Vec::new();
+
+    // Part 1: E. coli knockouts.
+    let e_coli = RedundantGenome::e_coli();
+    let mc = e_coli.knockout_trials(1, 20_000, &mut rng);
+    rows.push(vec![
+        "E. coli single knockout".into(),
+        format!("exact {:.3}", e_coli.single_knockout_viability()),
+        format!("simulated {:.3}", mc.viability()),
+        format!("redundancy {:.3}", e_coli.redundancy()),
+    ]);
+    for &k in &[5usize, 20, 50] {
+        rows.push(vec![
+            format!("E. coli {k}-gene knockout"),
+            format!("exact {:.3}", e_coli.multi_knockout_viability(k)),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    // A redundancy-free genome for contrast.
+    let fragile = RedundantGenome::new(4_300, 4_300);
+    rows.push(vec![
+        "no-redundancy genome, 1 knockout".into(),
+        format!("exact {:.3}", fragile.single_knockout_viability()),
+        "-".into(),
+        "redundancy 0.000".into(),
+    ]);
+
+    // Part 2: stickleback dormant-trait reactivation (Fig. 1).
+    let model = DormantTraitModel::default();
+    let out = model.simulate(0.9, 400, 400, &mut rng);
+    let final_freq = *out.armored_frequency.values().last().unwrap();
+    rows.push(vec![
+        "stickleback armor (Fig. 1)".into(),
+        format!("dormant reserve {:.4}", out.dormant_reserve),
+        format!("recovery {:?} generations", out.recovery_generations),
+        format!("final armored freq {:.2}", final_freq),
+    ]);
+
+    ExperimentTable {
+        id: "E7".into(),
+        title: "Redundancy in biological systems".into(),
+        claim: "§3.1.1: ~4,000 of E. coli's 4,300 genes are redundant \
+                (single knockouts non-lethal); the stickleback's armor \
+                genotype stayed dormant in peace and reactivated under \
+                predation (Fig. 1)"
+            .into(),
+        headers: vec![
+            "case".into(),
+            "viability / reserve".into(),
+            "simulated".into(),
+            "detail".into(),
+        ],
+        rows,
+        finding: format!(
+            "single-knockout viability 0.930 matches the paper's 4000/4300; \
+             viability degrades gracefully with knockout count (redundancy \
+             depth); the armor allele persisted at frequency {:.4} through \
+             400 peaceful generations and swept back to {:.2} once predation \
+             resumed",
+            out.dormant_reserve, final_freq
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e_coli_number_reproduced() {
+        let t = super::run(0);
+        assert!(t.rows[0][1].contains("0.930"));
+        assert!(t.rows.last().unwrap()[2].contains("Some"));
+    }
+}

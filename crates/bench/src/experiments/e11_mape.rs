@@ -1,0 +1,76 @@
+//! E11 — adaptability via the MAPE loop (paper §3.3, §3.3.2).
+
+use resilience_core::seeded_rng;
+use resilience_engineering::mape::MapeLoop;
+
+use crate::table::ExperimentTable;
+
+/// Run E11.
+pub fn run(seed: u64) -> ExperimentTable {
+    let mut rng = seeded_rng(seed.wrapping_add(11));
+    let drift = 3;
+    let steps = 3_000;
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    for &rate in &[0usize, 1, 2, 4, 8, 16] {
+        let m = MapeLoop::new(64, rate, 0.0);
+        let out = m.track_drift(steps, drift, &mut rng);
+        let recovery = MapeLoop::new(64, rate, 0.0).recovery_time(12, 200, &mut rng);
+        errors.push(out.mean_error());
+        rows.push(vec![
+            format!("{rate}"),
+            format!("{drift}"),
+            format!("{:.2}", out.mean_error()),
+            format!("{:.3}", out.sync_fraction()),
+            match recovery {
+                Some(t) => format!("{t}"),
+                None => "never".into(),
+            },
+        ]);
+    }
+    // Sensor noise ablation.
+    let noisy = MapeLoop::new(64, 8, 0.05).track_drift(steps, drift, &mut rng);
+    rows.push(vec![
+        "8 (5% sensor noise)".into(),
+        format!("{drift}"),
+        format!("{:.2}", noisy.mean_error()),
+        format!("{:.3}", noisy.sync_fraction()),
+        "-".into(),
+    ]);
+    ExperimentTable {
+        id: "E11".into(),
+        title: "Adaptability: MAPE loop vs. environmental drift".into(),
+        claim: "§3.3: adaptability is the relative speed of adaptation \
+                against environmental change; §3.3.2: the MAPE cycle senses \
+                changes and reacts automatically"
+            .into(),
+        headers: vec![
+            "adaptation rate (bits/step)".into(),
+            "drift (bits/step)".into(),
+            "mean tracking error".into(),
+            "in-sync fraction".into(),
+            "recovery steps after 12-bit shock".into(),
+        ],
+        rows,
+        finding: format!(
+            "the race is exactly as §3.3 frames it: adaptation slower than \
+             the drift (rate ≤ {drift}) saturates near the random-guess error \
+             ({:.1} bits), while faster adaptation tracks within ~drift bits \
+             ({:.1} at rate 8) and recovers from a 12-bit shock in ⌈12/rate⌉ \
+             steps; sensor noise in Monitor degrades tracking",
+            errors[0], errors[4]
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn faster_is_better() {
+        let t = super::run(0);
+        let slow: f64 = t.rows[0][2].parse().unwrap();
+        let fast: f64 = t.rows[4][2].parse().unwrap();
+        assert!(fast < 0.3 * slow);
+        assert_eq!(t.rows[0][4], "never");
+    }
+}

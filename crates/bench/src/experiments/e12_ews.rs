@@ -1,0 +1,82 @@
+//! E12 — early-warning signals before a tipping point (paper §3.4.1).
+
+use resilience_core::seeded_rng;
+use resilience_stats::bistable::{BistableProcess, CRITICAL_FORCING};
+use resilience_stats::ews::{early_warning_signals, EwsConfig};
+
+use crate::table::ExperimentTable;
+
+/// Run E12.
+pub fn run(seed: u64) -> ExperimentTable {
+    let mut rng = seeded_rng(seed.wrapping_add(12));
+    let process = BistableProcess {
+        sigma: 0.04,
+        ..BistableProcess::default()
+    };
+    let steps = 60_000;
+    let config = EwsConfig::default();
+    let mut rows = Vec::new();
+    let mut tip_trends = (0.0, 0.0);
+    let mut ctl_trends = (0.0, 0.0);
+    for (label, ramp_to) in [
+        ("ramp to tipping point", CRITICAL_FORCING * 1.25),
+        ("stationary control", -0.25),
+    ] {
+        let run = if ramp_to < 0.0 {
+            process.simulate_stationary(steps, -0.25, &mut rng)
+        } else {
+            process.simulate_ramp(steps, -0.25, ramp_to, &mut rng)
+        };
+        let analyze_to = run.tipping_index.unwrap_or(run.series.len());
+        let report = early_warning_signals(&run.series, analyze_to, &config)
+            .expect("long enough");
+        if ramp_to > 0.0 {
+            tip_trends = (report.variance_trend, report.autocorrelation_trend);
+        } else {
+            ctl_trends = (report.variance_trend, report.autocorrelation_trend);
+        }
+        rows.push(vec![
+            label.into(),
+            match run.tipping_index {
+                Some(t) => format!("tipped at step {t}"),
+                None => "no tip".into(),
+            },
+            format!("{:.2}", report.variance_trend),
+            format!("{:.2}", report.autocorrelation_trend),
+            format!("{}", report.warns(0.3)),
+        ]);
+    }
+    ExperimentTable {
+        id: "E12".into(),
+        title: "Early-warning signals (critical slowing down)".into(),
+        claim: "§3.4.1 (Scheffer et al.): for dynamical systems approaching a \
+                tipping point there are early-warning signals — rising \
+                variance and lag-1 autocorrelation"
+            .into(),
+        headers: vec![
+            "run".into(),
+            "outcome".into(),
+            "variance Kendall τ".into(),
+            "lag-1 AC Kendall τ".into(),
+            "warns (τ > 0.3)".into(),
+        ],
+        rows,
+        finding: format!(
+            "the pre-tip window shows strong positive indicator trends \
+             (τ_var = {:.2}, τ_ac = {:.2}) and raises the alarm; the \
+             stationary control shows none (τ_var = {:.2}, τ_ac = {:.2}) — \
+             anticipation works exactly where the paper predicts",
+            tip_trends.0, tip_trends.1, ctl_trends.0, ctl_trends.1
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn warning_fires_only_before_tip() {
+        let t = super::run(0);
+        assert_eq!(t.rows[0][4], "true");
+        assert_eq!(t.rows[1][4], "false");
+    }
+}

@@ -1,0 +1,83 @@
+//! E14 — the §4.4 budget-allocation question on the multi-agent testbed.
+
+use resilience_agents::experiment::{
+    ablation_rows, best_allocation, sweep_budgets, ShockRegime,
+};
+
+use crate::table::ExperimentTable;
+
+/// Run E14.
+pub fn run(seed: u64) -> ExperimentTable {
+    let steps = 300;
+    let replicates = 8;
+    let mut rows = Vec::new();
+
+    // Ablation corners per regime.
+    for regime in ShockRegime::ALL {
+        for outcome in ablation_rows(regime, steps, replicates, seed.wrapping_add(14)) {
+            rows.push(vec![
+                format!("{:?}", regime),
+                outcome.allocation.to_string(),
+                format!("{:.2}", outcome.survival_rate()),
+                format!("{:.0}", outcome.mean_final_population),
+            ]);
+        }
+    }
+
+    // Full simplex sweep under drift: where is the optimum?
+    let sweep = sweep_budgets(ShockRegime::SteadyDrift, 4, steps, replicates, seed ^ 0xE14);
+    let best = best_allocation(&sweep).expect("non-empty sweep");
+    rows.push(vec![
+        "SteadyDrift (simplex optimum)".into(),
+        best.allocation.to_string(),
+        format!("{:.2}", best.survival_rate()),
+        format!("{:.0}", best.mean_final_population),
+    ]);
+
+    ExperimentTable {
+        id: "E14".into(),
+        title: "Budget allocation across redundancy/diversity/adaptability".into(),
+        claim: "§4.4: resource = redundancy, diversity index = diversity, \
+                bits-per-step = adaptability; which combination of strategies \
+                is optimal depends on the environment-change regime"
+            .into(),
+        headers: vec![
+            "regime".into(),
+            "allocation".into(),
+            "survival rate".into(),
+            "mean final population".into(),
+        ],
+        rows,
+        finding: format!(
+            "in a calm world every allocation survives; under drift and under \
+             shocks the zero-adaptability corners (pure redundancy, pure \
+             diversity) go extinct while any allocation with enough \
+             adaptability survives — the simplex optimum under drift ({}, \
+             survival {:.2}) needs only a modest adaptability share; the \
+             paper's conjecture that the optimal combination is \
+             regime-dependent holds",
+            best.allocation,
+            best.survival_rate()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regime_dependence_shows() {
+        let t = run(3);
+        // 4 regimes × 4 ablations + 1 optimum row.
+        assert_eq!(t.rows.len(), 17);
+        // Calm rows all survive.
+        for row in &t.rows[0..4] {
+            assert_eq!(row[2], "1.00", "{row:?}");
+        }
+        // Under drift, the pure-redundancy corner dies.
+        let drift_redundancy = &t.rows[5];
+        assert_eq!(drift_redundancy[1], "R=1.00 D=0.00 A=0.00");
+        assert_eq!(drift_redundancy[2], "0.00");
+    }
+}

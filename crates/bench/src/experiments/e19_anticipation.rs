@@ -1,0 +1,148 @@
+//! E19 (extension) — active resilience end-to-end: anticipation (§3.4.1)
+//! driving mode switching (§3.4.6).
+//!
+//! A manager slowly pushes a bistable system toward its fold (think
+//! nutrient loading on a lake, or leverage on a market) because higher
+//! forcing pays. A *blind* manager keeps pushing and tips the system. An
+//! *anticipatory* manager watches the early-warning signals and switches
+//! to an emergency policy (back off the forcing) when the indicators
+//! trend up — trading a little yield for avoiding the collapse.
+
+use resilience_core::modes::{Mode, ModeController, ThresholdPolicy};
+use resilience_core::{derive_seed, seeded_rng, TimeSeries};
+use resilience_stats::bistable::BistableProcess;
+use resilience_stats::ews::{early_warning_signals, EwsConfig};
+
+use crate::table::ExperimentTable;
+
+struct PolicyOutcome {
+    tips: usize,
+    mean_peak_forcing: f64,
+    mean_switches: f64,
+}
+
+fn run_policy(anticipatory: bool, replicates: usize, seed: u64) -> PolicyOutcome {
+    let process = BistableProcess {
+        sigma: 0.04,
+        ..BistableProcess::default()
+    };
+    let horizon = 50_000;
+    let ramp = 1.5e-5;
+    let relief = 5.0e-5;
+    let ews_config = EwsConfig {
+        detrend_window: 100,
+        indicator_window: 2_000,
+        stride: 100,
+    };
+    let mut tips = 0;
+    let mut peak_sum = 0.0;
+    let mut switch_sum = 0.0;
+    for rep in 0..replicates {
+        let mut rng = seeded_rng(derive_seed(seed, rep as u64));
+        let mut x = process.x0;
+        let mut forcing = -0.25;
+        let mut peak: f64 = forcing;
+        let mut history = TimeSeries::new();
+        let mut controller = ModeController::new(ThresholdPolicy::new(0.5, 0.2));
+        let mut tipped = false;
+        for t in 0..horizon {
+            // Managerial policy.
+            match controller.mode() {
+                Mode::Normal => forcing += ramp,
+                Mode::Emergency => forcing = (forcing - relief).max(-0.25),
+            }
+            x = process.step(x, forcing, &mut rng);
+            history.push(x);
+            peak = peak.max(forcing);
+            if x > 0.5 {
+                tipped = true;
+                break;
+            }
+            // Anticipation: periodically read the warning indicators over
+            // the recent past (a sliding 15k-sample horizon — trends over
+            // the whole history dilute the late acceleration).
+            if anticipatory && t % 500 == 499 && history.len() > 6_000 {
+                let from = history.len().saturating_sub(15_000);
+                let recent = TimeSeries::from_values(history.values()[from..].to_vec());
+                if let Some(report) = early_warning_signals(&recent, recent.len(), &ews_config)
+                {
+                    let signal = report.variance_trend.max(report.autocorrelation_trend);
+                    controller.observe(signal.max(0.0));
+                }
+            }
+        }
+        if tipped {
+            tips += 1;
+        }
+        peak_sum += peak;
+        switch_sum += controller.switch_count() as f64;
+    }
+    PolicyOutcome {
+        tips,
+        mean_peak_forcing: peak_sum / replicates as f64,
+        mean_switches: switch_sum / replicates as f64,
+    }
+}
+
+/// Run E19.
+pub fn run(seed: u64) -> ExperimentTable {
+    let replicates = 8;
+    let blind = run_policy(false, replicates, seed.wrapping_add(19));
+    let warned = run_policy(true, replicates, seed.wrapping_add(19));
+    let rows = vec![
+        vec![
+            "blind (keep pushing)".into(),
+            format!("{}/{replicates}", blind.tips),
+            format!("{:.3}", blind.mean_peak_forcing),
+            format!("{:.1}", blind.mean_switches),
+        ],
+        vec![
+            "anticipatory (EWS → emergency mode)".into(),
+            format!("{}/{replicates}", warned.tips),
+            format!("{:.3}", warned.mean_peak_forcing),
+            format!("{:.1}", warned.mean_switches),
+        ],
+    ];
+    ExperimentTable {
+        id: "E19".into(),
+        title: "Extension: anticipation driving mode switching".into(),
+        claim: "§3.4.1 + §3.4.6: if early-warning signals can anticipate a \
+                tipping point, the system can switch to an emergency policy \
+                before the collapse instead of paying for it afterwards"
+            .into(),
+        headers: vec![
+            "management policy".into(),
+            "collapses".into(),
+            "mean peak forcing sustained".into(),
+            "mean mode switches".into(),
+        ],
+        rows,
+        finding: format!(
+            "the blind manager collapses the system in {}/{replicates} runs; \
+             the anticipatory manager reads rising variance/autocorrelation \
+             and backs off in time, collapsing in {}/{replicates} runs while \
+             still sustaining forcing up to {:.2} (vs the critical 0.385) — \
+             anticipation converts the early-warning literature into an \
+             operational mode-switching trigger",
+            blind.tips, warned.tips, warned.mean_peak_forcing
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "long-running; exercised by the experiments binary in release"]
+    fn anticipation_prevents_most_collapses() {
+        let t = super::run(0);
+        let blind: usize = t.rows[0][1].split('/').next().unwrap().parse().unwrap();
+        let warned: usize = t.rows[1][1].split('/').next().unwrap().parse().unwrap();
+        assert!(warned < blind);
+    }
+
+    #[test]
+    fn single_replicate_smoke() {
+        let blind = super::run_policy(false, 1, 7);
+        assert!(blind.mean_peak_forcing > -0.25);
+    }
+}

@@ -1,0 +1,77 @@
+//! E20 (extension) — emergency response: centralized vs. empowered
+//! (paper §3.4.3).
+
+use resilience_core::seeded_rng;
+use resilience_engineering::response::{respond, CommandStructure};
+
+use crate::table::ExperimentTable;
+
+/// Run E20.
+pub fn run(seed: u64) -> ExperimentTable {
+    let mut rng = seeded_rng(seed.wrapping_add(20));
+    let central = CommandStructure::Centralized {
+        capacity: 2,
+        dispatch_delay: 1,
+    };
+    let empowered = CommandStructure::Empowered {
+        local_capacity: 1,
+        improvisation_error: 0.2,
+    };
+    let scenarios: [(&str, Vec<usize>); 3] = [
+        ("widespread disaster: 12 sites × 4 damage", vec![4; 12]),
+        ("moderate: 4 sites × 6 damage", vec![6; 4]),
+        ("concentrated: 1 site × 30 damage", vec![30]),
+    ];
+    let mut rows = Vec::new();
+    let mut crossover_seen = false;
+    for (label, damage) in scenarios {
+        let c = respond(&damage, central, 2_000, &mut rng);
+        let e = respond(&damage, empowered, 2_000, &mut rng);
+        if e.recovery_steps >= c.recovery_steps {
+            crossover_seen = true;
+        }
+        rows.push(vec![
+            label.into(),
+            format!("{}", c.recovery_steps),
+            format!("{}", e.recovery_steps),
+            if e.recovery_steps < c.recovery_steps {
+                "empowered".into()
+            } else {
+                "centralized".into()
+            },
+        ]);
+    }
+    ExperimentTable {
+        id: "E20".into(),
+        title: "Extension: emergency response — central command vs. empowerment".into(),
+        claim: "§3.4.3 (ISO 22320): in emergencies, empowering the employees \
+                at the bottom of the hierarchy — who must improvise — beats \
+                routing every decision through headquarters"
+            .into(),
+        headers: vec![
+            "disaster shape".into(),
+            "centralized recovery steps".into(),
+            "empowered recovery steps".into(),
+            "winner".into(),
+        ],
+        rows,
+        finding: format!(
+            "for widespread damage the empowered structure recovers several \
+             times faster despite a 20% improvisation error rate (parallelism \
+             beats dispatch overhead); the centralized team keeps an edge \
+             only when damage is concentrated at a single site \
+             (crossover observed: {crossover_seen}) — matching the ISO 22320 \
+             emphasis on empowerment for large-scale events"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn empowerment_wins_widespread() {
+        let t = super::run(0);
+        assert_eq!(t.rows[0][3], "empowered");
+        assert_eq!(t.rows[2][3], "centralized");
+    }
+}

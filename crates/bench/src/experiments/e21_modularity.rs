@@ -1,0 +1,91 @@
+//! E21 (extension) — modularization contains cascades (paper §4.5).
+//!
+//! "To modularize a large system into smaller independent components seems
+//! to be a good design principle in order to contain a damage from a
+//! failure in a limited area."
+
+use resilience_core::{derive_seed, seeded_rng};
+use resilience_networks::cascade::ThresholdCascade;
+use resilience_networks::generators::planted_partition;
+
+use crate::table::ExperimentTable;
+
+/// Run E21.
+pub fn run(seed: u64) -> ExperimentTable {
+    let n = 600;
+    // A localized disaster takes out the first quarter of the system —
+    // exactly one module of the 4-block design. Does it escape?
+    let seeds: Vec<usize> = (0..n / 4).collect();
+    let cascade = ThresholdCascade::new(0.25);
+    let trials = 40;
+    let mut rows = Vec::new();
+    let mut mean_failures = Vec::new();
+    // Same expected degree in every architecture; only the mixing changes.
+    // mean degree ≈ p_in·(n/b − 1) + p_out·(n − n/b).
+    let architectures: [(&str, usize, f64, f64); 3] = [
+        ("monolithic (1 block)", 1, 0.02, 0.02),
+        ("4 modules, light coupling", 4, 0.072, 0.0033), // ≈ same mean degree
+        ("12 modules, light coupling", 12, 0.20, 0.0036),
+    ];
+    for (label, blocks, p_in, p_out) in architectures {
+        let mut total_failed = 0usize;
+        let mut worst = 0usize;
+        let mut mean_degree = 0.0;
+        for t in 0..trials {
+            let mut rng = seeded_rng(derive_seed(seed.wrapping_add(21), t as u64));
+            let g = planted_partition(n, blocks, p_in, p_out, &mut rng);
+            mean_degree += g.mean_degree();
+            let out = cascade.run(&g, &seeds);
+            total_failed += out.failed;
+            worst = worst.max(out.failed);
+        }
+        let mean = total_failed as f64 / trials as f64;
+        mean_failures.push(mean);
+        rows.push(vec![
+            label.into(),
+            format!("{:.1}", mean_degree / trials as f64),
+            format!("{mean:.0}"),
+            format!("{worst}"),
+            format!("{:.2}", mean / n as f64),
+        ]);
+    }
+    ExperimentTable {
+        id: "E21".into(),
+        title: "Extension: modularization contains cascading failures".into(),
+        claim: "§4.5: modularizing a large system into smaller independent \
+                components is a good design principle to contain damage from \
+                a failure in a limited area"
+            .into(),
+        headers: vec![
+            "architecture".into(),
+            "mean degree".into(),
+            "mean cascade size".into(),
+            "worst cascade".into(),
+            "mean failed fraction".into(),
+        ],
+        rows,
+        finding: format!(
+            "a disaster killing 150 of 600 nodes cascades to {:.0} nodes of \
+             the matched-degree monolithic graph on average, but stays at \
+             ≈{:.0} (4 modules) and {:.0} (12 modules) in the modular \
+             designs — sparse inter-module coupling keeps the failure inside \
+             the struck modules, quantifying the paper's containment \
+             principle",
+            mean_failures[0], mean_failures[1], mean_failures[2]
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn modularity_contains() {
+        let t = super::run(0);
+        let mono: f64 = t.rows[0][2].parse().unwrap();
+        let modular: f64 = t.rows[2][2].parse().unwrap();
+        assert!(
+            modular < 0.6 * mono,
+            "modular {modular} vs monolithic {mono}"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! E22 (extension) — linear accumulation, polarization, and fragility
+//! (paper §3.2.4, closing paragraph).
+
+use resilience_core::seeded_rng;
+use resilience_ecology::polarization::{gini, top_share, WealthModel};
+
+use crate::table::ExperimentTable;
+
+/// Run E22.
+pub fn run(seed: u64) -> ExperimentTable {
+    let mut rng = seeded_rng(seed.wrapping_add(22));
+    let agents = 1_000;
+    let rounds = 200;
+    let noise = 0.9;
+    let mut rows = Vec::new();
+    let mut ginis = Vec::new();
+    let mut exposures = Vec::new();
+    for &(label, gamma) in &[
+        ("linear money (γ = 1.0)", 1.0),
+        ("mild diminishing returns (γ = 0.8)", 0.8),
+        ("strong diminishing returns (γ = 0.5)", 0.5),
+    ] {
+        let wealth = WealthModel::new(agents, rounds, gamma, noise).simulate(&mut rng);
+        let g = gini(&wealth);
+        let top1 = top_share(&wealth, 0.01);
+        let top10 = top_share(&wealth, 0.10);
+        ginis.push(g);
+        exposures.push(top10);
+        rows.push(vec![
+            label.into(),
+            format!("{g:.3}"),
+            format!("{:.1}%", top1 * 100.0),
+            format!("{:.1}%", top10 * 100.0),
+        ]);
+    }
+    ExperimentTable {
+        id: "E22".into(),
+        title: "Extension: linear accumulation → polarization → fragility".into(),
+        claim: "§3.2.4: natural systems follow the law of diminishing \
+                returns, but 'your money adds up linearly. This leads to \
+                polarization between the rich and the poor, and may make the \
+                society more fragile.'"
+            .into(),
+        headers: vec![
+            "accumulation law".into(),
+            "Gini coefficient".into(),
+            "top-1% wealth share".into(),
+            "top-10% wealth share (fragility exposure)".into(),
+        ],
+        rows,
+        finding: format!(
+            "identical noise, different curvature: the linear society \
+             polarizes to Gini {:.2} with {:.0}% of all wealth exposed to a \
+             shock on its top decile, while diminishing returns hold Gini at \
+             {:.2} and the exposure at {:.0}% — concavity is doing for wealth \
+             exactly what it does for species diversity in E4/E5",
+            ginis[0],
+            exposures[0] * 100.0,
+            ginis[2],
+            exposures[2] * 100.0
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn curvature_orders_inequality() {
+        let t = super::run(0);
+        let g: Vec<f64> = (0..3).map(|i| t.rows[i][1].parse().unwrap()).collect();
+        assert!(g[0] > g[1] && g[1] > g[2], "{g:?}");
+    }
+}

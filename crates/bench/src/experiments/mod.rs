@@ -1,0 +1,71 @@
+//! One module per experiment; see DESIGN.md's experiment index.
+
+pub mod e01_bruneau;
+pub mod e02_recoverability;
+pub mod e03_maintainability;
+pub mod e04_replicator;
+pub mod e05_weak_selection;
+pub mod e06_extinction;
+pub mod e07_genome;
+pub mod e08_redundancy;
+pub mod e09_nversion;
+pub mod e10_diversification;
+pub mod e11_mape;
+pub mod e12_ews;
+pub mod e13_heavy_tail;
+pub mod e14_agents;
+pub mod e15_attack;
+pub mod e16_sandpile;
+pub mod e17_tiger_team;
+pub mod e18_granularity;
+pub mod e19_anticipation;
+pub mod e20_response;
+pub mod e21_modularity;
+pub mod e22_polarization;
+
+use crate::table::ExperimentTable;
+
+/// An experiment entry point: master seed in, result table out.
+pub type Runner = fn(u64) -> ExperimentTable;
+
+/// The registry of all experiments: `(id, runner)`.
+pub fn registry() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("e1", e01_bruneau::run),
+        ("e2", e02_recoverability::run),
+        ("e3", e03_maintainability::run),
+        ("e4", e04_replicator::run),
+        ("e5", e05_weak_selection::run),
+        ("e6", e06_extinction::run),
+        ("e7", e07_genome::run),
+        ("e8", e08_redundancy::run),
+        ("e9", e09_nversion::run),
+        ("e10", e10_diversification::run),
+        ("e11", e11_mape::run),
+        ("e12", e12_ews::run),
+        ("e13", e13_heavy_tail::run),
+        ("e14", e14_agents::run),
+        ("e15", e15_attack::run),
+        ("e16", e16_sandpile::run),
+        ("e17", e17_tiger_team::run),
+        ("e18", e18_granularity::run),
+        ("e19", e19_anticipation::run),
+        ("e20", e20_response::run),
+        ("e21", e21_modularity::run),
+        ("e22", e22_polarization::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_ordered() {
+        let reg = registry();
+        assert_eq!(reg.len(), 22);
+        for (i, (id, _)) in reg.iter().enumerate() {
+            assert_eq!(*id, format!("e{}", i + 1));
+        }
+    }
+}

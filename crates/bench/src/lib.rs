@@ -1,0 +1,22 @@
+//! Experiment harness for the Systems Resilience reproduction.
+//!
+//! The paper is a position paper with no numbered tables, so every figure
+//! and quantitative claim becomes an experiment (`E1`–`E16`, indexed in
+//! DESIGN.md). Each experiment module exposes `run(seed) ->`
+//! [`ExperimentTable`]; the `experiments` binary renders them as the
+//! Markdown tables recorded in EXPERIMENTS.md:
+//!
+//! ```bash
+//! cargo run --release -p resilience-bench --bin experiments        # all
+//! cargo run --release -p resilience-bench --bin experiments -- e4 e15
+//! ```
+//!
+//! Criterion benchmarks for the hot kernels live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::ExperimentTable;

@@ -1,0 +1,62 @@
+//! Result tables the experiment binary emits.
+
+use serde::{Deserialize, Serialize};
+
+/// One experiment's reproducible result table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentTable {
+    /// Experiment id, e.g. "E4".
+    pub id: String,
+    /// Short title.
+    pub title: String,
+    /// The paper claim being checked (section/figure reference included).
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// One-sentence verdict comparing measurement to claim.
+    pub finding: String,
+}
+
+impl ExperimentTable {
+    /// Render as Markdown (header, claim, table, finding).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("**Paper claim:** {}\n\n", self.claim));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push_str(&format!("\n**Measured:** {}\n", self.finding));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let t = ExperimentTable {
+            id: "E0".into(),
+            title: "demo".into(),
+            claim: "x".into(),
+            headers: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+            finding: "ok".into(),
+        };
+        let md = t.to_markdown();
+        assert!(md.contains("## E0 — demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("**Measured:** ok"));
+        assert!(md.contains("|---|---|"));
+    }
+}

@@ -1,0 +1,543 @@
+//! Bit-string system configurations.
+//!
+//! The paper's model (§4.2) assumes "without loss of generality, a system
+//! status can be represented as a bit string of length n. At any given time,
+//! the system takes one of the 2^n possible configurations." [`Config`] is
+//! that bit string, stored packed in 64-bit words.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+const WORD_BITS: usize = 64;
+
+/// A system configuration: a fixed-length string of boolean state variables.
+///
+/// Bit `i = 1` conventionally means "component `i` is good" (the paper's
+/// spacecraft example), but the interpretation is up to the constraint.
+///
+/// # Example
+///
+/// ```
+/// use resilience_core::Config;
+///
+/// let mut c = Config::zeros(5);
+/// c.set(0);
+/// c.set(3);
+/// assert_eq!(c.to_string(), "10010");
+/// assert_eq!(c.count_ones(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Config {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Config {
+    /// An all-zeros configuration of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        let n_words = len.div_ceil(WORD_BITS);
+        Config {
+            len,
+            words: vec![0; n_words],
+        }
+    }
+
+    /// An all-ones configuration of length `len` (the spacecraft's "every
+    /// component good" state `1^n`).
+    pub fn ones(len: usize) -> Self {
+        let mut c = Config::zeros(len);
+        for w in &mut c.words {
+            *w = u64::MAX;
+        }
+        c.mask_tail();
+        c
+    }
+
+    /// A uniformly random configuration of length `len`.
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        let mut c = Config::zeros(len);
+        for w in &mut c.words {
+            *w = rng.gen();
+        }
+        c.mask_tail();
+        c
+    }
+
+    /// Build from an iterator of booleans.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut c = Config::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            if *b {
+                c.set(i);
+            }
+        }
+        c
+    }
+
+    /// Decode the low `len` bits of an integer (bit 0 = index 0).
+    ///
+    /// Useful for exhaustively enumerating small configuration spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_u64 supports at most 64 bits, got {len}");
+        let mut c = Config::zeros(len);
+        if len > 0 {
+            c.words[0] = if len == 64 {
+                value
+            } else {
+                value & ((1u64 << len) - 1)
+            };
+        }
+        c
+    }
+
+    /// Encode as an integer (inverse of [`Config::from_u64`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is longer than 64 bits.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.len <= 64, "to_u64 supports at most 64 bits");
+        self.words.first().copied().unwrap_or(0)
+    }
+
+    /// Number of state variables.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the configuration has zero state variables.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Set bit `i` to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for {}", self.len);
+        self.words[i / WORD_BITS] |= 1 << (i % WORD_BITS);
+    }
+
+    /// Set bit `i` to 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for {}", self.len);
+        self.words[i / WORD_BITS] &= !(1 << (i % WORD_BITS));
+    }
+
+    /// Write bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn assign(&mut self, i: usize, value: bool) {
+        if value {
+            self.set(i);
+        } else {
+            self.clear(i);
+        }
+    }
+
+    /// Flip bit `i` — the paper's elementary repair/adaptation move
+    /// ("the system flips one bit at a time").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for {}", self.len);
+        self.words[i / WORD_BITS] ^= 1 << (i % WORD_BITS);
+    }
+
+    /// Checked bit read, for callers that prefer a `Result`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IndexOutOfRange`] if `i >= len`.
+    pub fn try_get(&self, i: usize) -> Result<bool, CoreError> {
+        if i < self.len {
+            Ok(self.get(i))
+        } else {
+            Err(CoreError::IndexOutOfRange {
+                index: i,
+                len: self.len,
+            })
+        }
+    }
+
+    /// Number of 1-bits (e.g. working components).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of 0-bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Hamming distance to another configuration: the minimum number of
+    /// single-bit flips to transform one into the other. This is the paper's
+    /// natural notion of repair effort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if lengths differ.
+    pub fn hamming(&self, other: &Config) -> Result<usize, CoreError> {
+        if self.len != other.len {
+            return Err(CoreError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        Ok(self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum())
+    }
+
+    /// Iterate over the bits as booleans, index order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Indices where this configuration differs from `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LengthMismatch`] if lengths differ.
+    pub fn differing_bits(&self, other: &Config) -> Result<Vec<usize>, CoreError> {
+        if self.len != other.len {
+            return Err(CoreError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        Ok((0..self.len).filter(|&i| self.get(i) != other.get(i)).collect())
+    }
+
+    /// Indices of 1-bits.
+    pub fn ones_indices(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| self.get(i)).collect()
+    }
+
+    /// Indices of 0-bits.
+    pub fn zeros_indices(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| !self.get(i)).collect()
+    }
+
+    /// Flip `k` distinct uniformly-chosen bits (a random damage event).
+    /// If `k >= len`, every bit is flipped.
+    ///
+    /// Returns the flipped indices.
+    pub fn flip_random<R: Rng + ?Sized>(&mut self, k: usize, rng: &mut R) -> Vec<usize> {
+        let k = k.min(self.len);
+        let chosen = rand::seq::index::sample(rng, self.len, k).into_vec();
+        for &i in &chosen {
+            self.flip(i);
+        }
+        chosen
+    }
+
+    /// Each bit independently flips with probability `p` (per-locus
+    /// mutation). Returns the number of flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn mutate<R: Rng + ?Sized>(&mut self, p: f64, rng: &mut R) -> usize {
+        assert!((0.0..=1.0).contains(&p), "mutation rate must be in [0,1]");
+        let mut flips = 0;
+        for i in 0..self.len {
+            if rng.gen_bool(p) {
+                self.flip(i);
+                flips += 1;
+            }
+        }
+        flips
+    }
+
+    /// Fraction of 1-bits, in `[0, 1]`; `0` for an empty configuration.
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            f.write_str(if self.get(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Config({self})")
+    }
+}
+
+impl FromStr for Config {
+    type Err = CoreError;
+
+    /// Parse a string of `0`/`1` characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on any other character.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut c = Config::zeros(s.chars().count());
+        for (i, ch) in s.chars().enumerate() {
+            match ch {
+                '0' => {}
+                '1' => c.set(i),
+                other => {
+                    return Err(crate::error::invalid_param(
+                        "config string",
+                        format!("unexpected character {other:?} at position {i}"),
+                    ))
+                }
+            }
+        }
+        Ok(c)
+    }
+}
+
+impl FromIterator<bool> for Config {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Config::from_bits(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Config::zeros(100);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.len(), 100);
+        let o = Config::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        assert_eq!(o.count_zeros(), 0);
+    }
+
+    #[test]
+    fn ones_masks_tail_correctly() {
+        // Non-multiple-of-64 length must not report phantom bits.
+        for len in [1, 63, 64, 65, 127, 128, 130] {
+            let o = Config::ones(len);
+            assert_eq!(o.count_ones(), len, "len={len}");
+        }
+    }
+
+    #[test]
+    fn set_clear_flip_get() {
+        let mut c = Config::zeros(70);
+        c.set(69);
+        assert!(c.get(69));
+        c.clear(69);
+        assert!(!c.get(69));
+        c.flip(69);
+        assert!(c.get(69));
+        c.assign(69, false);
+        assert!(!c.get(69));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let c = Config::zeros(4);
+        let _ = c.get(4);
+    }
+
+    #[test]
+    fn try_get_reports_error() {
+        let c = Config::zeros(4);
+        assert_eq!(
+            c.try_get(9),
+            Err(CoreError::IndexOutOfRange { index: 9, len: 4 })
+        );
+        assert_eq!(c.try_get(3), Ok(false));
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a: Config = "10110".parse().unwrap();
+        let b: Config = "00111".parse().unwrap();
+        assert_eq!(a.hamming(&b).unwrap(), 2);
+        assert_eq!(a.hamming(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn hamming_length_mismatch_errors() {
+        let a = Config::zeros(3);
+        let b = Config::zeros(4);
+        assert!(matches!(
+            a.hamming(&b),
+            Err(CoreError::LengthMismatch { left: 3, right: 4 })
+        ));
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s = "0110010111";
+        let c: Config = s.parse().unwrap();
+        assert_eq!(c.to_string(), s);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("01x0".parse::<Config>().is_err());
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        let c = Config::from_u64(0b1011, 6);
+        assert_eq!(c.to_string(), "110100"); // bit 0 first
+        assert_eq!(c.to_u64(), 0b1011);
+        let full = Config::from_u64(u64::MAX, 64);
+        assert_eq!(full.count_ones(), 64);
+    }
+
+    #[test]
+    fn from_u64_masks_high_bits() {
+        let c = Config::from_u64(u64::MAX, 5);
+        assert_eq!(c.count_ones(), 5);
+    }
+
+    #[test]
+    fn differing_bits_and_indices() {
+        let a: Config = "1010".parse().unwrap();
+        let b: Config = "0011".parse().unwrap();
+        assert_eq!(a.differing_bits(&b).unwrap(), vec![0, 3]);
+        assert_eq!(a.ones_indices(), vec![0, 2]);
+        assert_eq!(a.zeros_indices(), vec![1, 3]);
+    }
+
+    #[test]
+    fn flip_random_flips_exactly_k() {
+        let mut rng = seeded_rng(3);
+        let mut c = Config::ones(50);
+        let flipped = c.flip_random(7, &mut rng);
+        assert_eq!(flipped.len(), 7);
+        assert_eq!(c.count_zeros(), 7);
+        // k larger than len saturates
+        let mut d = Config::ones(5);
+        let flipped = d.flip_random(100, &mut rng);
+        assert_eq!(flipped.len(), 5);
+        assert_eq!(d.count_ones(), 0);
+    }
+
+    #[test]
+    fn mutate_rate_zero_and_one() {
+        let mut rng = seeded_rng(4);
+        let mut c = Config::ones(40);
+        assert_eq!(c.mutate(0.0, &mut rng), 0);
+        assert_eq!(c.count_ones(), 40);
+        assert_eq!(c.mutate(1.0, &mut rng), 40);
+        assert_eq!(c.count_ones(), 0);
+    }
+
+    #[test]
+    fn density() {
+        let c: Config = "1100".parse().unwrap();
+        assert!((c.density() - 0.5).abs() < 1e-12);
+        assert_eq!(Config::zeros(0).density(), 0.0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let c: Config = [true, false, true].into_iter().collect();
+        assert_eq!(c.to_string(), "101");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Config::zeros(0)).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hamming_is_metric(len in 1usize..200, s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
+            let a = Config::random(len, &mut seeded_rng(s1));
+            let b = Config::random(len, &mut seeded_rng(s2));
+            let c = Config::random(len, &mut seeded_rng(s3));
+            let dab = a.hamming(&b).unwrap();
+            let dba = b.hamming(&a).unwrap();
+            prop_assert_eq!(dab, dba); // symmetry
+            prop_assert_eq!(a.hamming(&a).unwrap(), 0); // identity
+            let dac = a.hamming(&c).unwrap();
+            let dcb = c.hamming(&b).unwrap();
+            prop_assert!(dab <= dac + dcb); // triangle inequality
+        }
+
+        #[test]
+        fn prop_flip_changes_hamming_by_one(len in 1usize..150, seed in any::<u64>()) {
+            let mut rng = seeded_rng(seed);
+            let a = Config::random(len, &mut rng);
+            let mut b = a.clone();
+            let idx = (seed as usize) % len;
+            b.flip(idx);
+            prop_assert_eq!(a.hamming(&b).unwrap(), 1);
+            b.flip(idx);
+            prop_assert_eq!(a.hamming(&b).unwrap(), 0);
+        }
+
+        #[test]
+        fn prop_display_parse_roundtrip(len in 0usize..300, seed in any::<u64>()) {
+            let c = Config::random(len, &mut seeded_rng(seed));
+            let parsed: Config = c.to_string().parse().unwrap();
+            prop_assert_eq!(parsed, c);
+        }
+
+        #[test]
+        fn prop_count_ones_plus_zeros_is_len(len in 0usize..300, seed in any::<u64>()) {
+            let c = Config::random(len, &mut seeded_rng(seed));
+            prop_assert_eq!(c.count_ones() + c.count_zeros(), len);
+        }
+    }
+}

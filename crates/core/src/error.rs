@@ -1,0 +1,82 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by core operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Two configurations (or a configuration and a constraint) had
+    /// different lengths where equal lengths were required.
+    LengthMismatch {
+        /// Length of the left-hand operand.
+        left: usize,
+        /// Length of the right-hand operand.
+        right: usize,
+    },
+    /// A bit index was out of range for the configuration length.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The configuration length.
+        len: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+    /// A quality trajectory was empty or otherwise unusable.
+    EmptyTrajectory,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::LengthMismatch { left, right } => {
+                write!(f, "configuration length mismatch: {left} vs {right}")
+            }
+            CoreError::IndexOutOfRange { index, len } => {
+                write!(f, "bit index {index} out of range for length {len}")
+            }
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            CoreError::EmptyTrajectory => write!(f, "quality trajectory contains no samples"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience constructor for [`CoreError::InvalidParameter`].
+pub fn invalid_param(name: &'static str, reason: impl Into<String>) -> CoreError {
+    CoreError::InvalidParameter {
+        name,
+        reason: reason.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = CoreError::LengthMismatch { left: 3, right: 5 };
+        assert!(err.to_string().contains("3 vs 5"));
+        let err = CoreError::IndexOutOfRange { index: 9, len: 4 };
+        assert!(err.to_string().contains("9"));
+        let err = invalid_param("alpha", "must be positive");
+        assert!(err.to_string().contains("alpha"));
+        assert!(CoreError::EmptyTrajectory.to_string().contains("trajectory"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<CoreError>();
+    }
+}

@@ -1,0 +1,279 @@
+//! Mode switching (the paper's §3.4.6).
+//!
+//! "In the normal mode, the system works within the designed realm and
+//! follows the designed set of policy, for example, pursuing maximum
+//! economic efficiency. If an extreme event happens and the system can no
+//! longer function as designed, the system switches its operational mode to
+//! the emergency mode, in which the system and the people behave based on a
+//! different set of policies."
+//!
+//! [`ModeController`] is a small state machine driven by an observed damage
+//! signal; [`SwitchPolicy`] decides when to switch. [`ThresholdPolicy`]
+//! implements hysteresis so the system does not flap between modes.
+
+use serde::{Deserialize, Serialize};
+
+/// Operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Mode {
+    /// Designed operating envelope; optimize the designed objective.
+    #[default]
+    Normal,
+    /// Extreme-event regime; optimize survival/mutual aid instead.
+    Emergency,
+}
+
+/// Decides the next mode from the current mode and an observed damage
+/// signal (0 = unharmed, larger = worse).
+pub trait SwitchPolicy: Send + Sync {
+    /// Compute the next mode.
+    fn next_mode(&self, current: Mode, damage: f64) -> Mode;
+}
+
+/// Hysteretic threshold policy: enter `Emergency` when damage exceeds
+/// `enter`, return to `Normal` only when it falls below `exit` (`exit <
+/// enter`), preventing mode flapping near the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdPolicy {
+    enter: f64,
+    exit: f64,
+}
+
+impl ThresholdPolicy {
+    /// Create a hysteretic policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exit > enter` or either is negative/non-finite.
+    pub fn new(enter: f64, exit: f64) -> Self {
+        assert!(
+            enter.is_finite() && exit.is_finite() && enter >= 0.0 && exit >= 0.0,
+            "thresholds must be finite and non-negative"
+        );
+        assert!(exit <= enter, "exit threshold must not exceed enter threshold");
+        ThresholdPolicy { enter, exit }
+    }
+
+    /// The damage level that triggers emergency mode.
+    pub fn enter_threshold(&self) -> f64 {
+        self.enter
+    }
+
+    /// The damage level below which normal mode resumes.
+    pub fn exit_threshold(&self) -> f64 {
+        self.exit
+    }
+}
+
+impl SwitchPolicy for ThresholdPolicy {
+    fn next_mode(&self, current: Mode, damage: f64) -> Mode {
+        match current {
+            Mode::Normal if damage > self.enter => Mode::Emergency,
+            Mode::Emergency if damage < self.exit => Mode::Normal,
+            m => m,
+        }
+    }
+}
+
+/// A policy that never switches — the "no active resilience" control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NeverSwitch;
+
+impl SwitchPolicy for NeverSwitch {
+    fn next_mode(&self, current: Mode, _damage: f64) -> Mode {
+        current
+    }
+}
+
+/// Cognitive bias in threat perception (the paper's §3.4.4): the wrapped
+/// policy sees the damage signal scaled by `bias`.
+///
+/// "Active resilience may introduce a new source of errors unique to human
+/// intelligence — cognitive errors. People may overestimate the threat of
+/// certain types, such as terrorism, and may overreact." A `bias > 1`
+/// models exactly that overestimation: the controller enters emergency
+/// mode (and pays its costs) for damage that objectively does not warrant
+/// it; `bias < 1` models complacency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasedPerception<P> {
+    inner: P,
+    bias: f64,
+}
+
+impl<P: SwitchPolicy> BiasedPerception<P> {
+    /// Wrap `inner` so it perceives `damage × bias`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is negative or non-finite.
+    pub fn new(inner: P, bias: f64) -> Self {
+        assert!(bias.is_finite() && bias >= 0.0, "bias must be non-negative");
+        BiasedPerception { inner, bias }
+    }
+
+    /// The perception bias factor.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+impl<P: SwitchPolicy> SwitchPolicy for BiasedPerception<P> {
+    fn next_mode(&self, current: Mode, damage: f64) -> Mode {
+        self.inner.next_mode(current, damage * self.bias)
+    }
+}
+
+/// Mode state machine with a history of transitions.
+///
+/// # Example
+///
+/// ```
+/// use resilience_core::modes::{Mode, ModeController, ThresholdPolicy};
+/// let mut ctl = ModeController::new(ThresholdPolicy::new(10.0, 3.0));
+/// assert_eq!(ctl.observe(2.0), Mode::Normal);
+/// assert_eq!(ctl.observe(25.0), Mode::Emergency); // shock!
+/// assert_eq!(ctl.observe(5.0), Mode::Emergency);  // hysteresis holds
+/// assert_eq!(ctl.observe(1.0), Mode::Normal);     // all clear
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModeController<P> {
+    mode: Mode,
+    policy: P,
+    transitions: Vec<(usize, Mode)>,
+    step: usize,
+}
+
+impl<P: SwitchPolicy> ModeController<P> {
+    /// Start in [`Mode::Normal`] under `policy`.
+    pub fn new(policy: P) -> Self {
+        ModeController {
+            mode: Mode::Normal,
+            policy,
+            transitions: Vec::new(),
+            step: 0,
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Feed one damage observation; returns the (possibly new) mode.
+    pub fn observe(&mut self, damage: f64) -> Mode {
+        self.step += 1;
+        let next = self.policy.next_mode(self.mode, damage);
+        if next != self.mode {
+            self.mode = next;
+            self.transitions.push((self.step, next));
+        }
+        self.mode
+    }
+
+    /// Recorded `(step, new_mode)` transitions.
+    pub fn transitions(&self) -> &[(usize, Mode)] {
+        &self.transitions
+    }
+
+    /// Number of mode switches so far.
+    pub fn switch_count(&self) -> usize {
+        self.transitions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_normal() {
+        assert_eq!(Mode::default(), Mode::Normal);
+    }
+
+    #[test]
+    fn threshold_policy_switches_with_hysteresis() {
+        let p = ThresholdPolicy::new(10.0, 3.0);
+        assert_eq!(p.next_mode(Mode::Normal, 5.0), Mode::Normal);
+        assert_eq!(p.next_mode(Mode::Normal, 11.0), Mode::Emergency);
+        // Damage between exit and enter: stay in emergency.
+        assert_eq!(p.next_mode(Mode::Emergency, 5.0), Mode::Emergency);
+        assert_eq!(p.next_mode(Mode::Emergency, 2.0), Mode::Normal);
+        assert_eq!(p.enter_threshold(), 10.0);
+        assert_eq!(p.exit_threshold(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exit threshold")]
+    fn threshold_policy_validates_order() {
+        let _ = ThresholdPolicy::new(3.0, 10.0);
+    }
+
+    #[test]
+    fn never_switch_stays_put() {
+        let p = NeverSwitch;
+        assert_eq!(p.next_mode(Mode::Normal, 1e9), Mode::Normal);
+        assert_eq!(p.next_mode(Mode::Emergency, 0.0), Mode::Emergency);
+    }
+
+    #[test]
+    fn controller_records_transitions() {
+        let mut c = ModeController::new(ThresholdPolicy::new(10.0, 3.0));
+        assert_eq!(c.mode(), Mode::Normal);
+        assert_eq!(c.observe(1.0), Mode::Normal);
+        assert_eq!(c.observe(20.0), Mode::Emergency);
+        assert_eq!(c.observe(8.0), Mode::Emergency); // hysteresis holds
+        assert_eq!(c.observe(1.0), Mode::Normal);
+        assert_eq!(c.switch_count(), 2);
+        assert_eq!(c.transitions(), &[(2, Mode::Emergency), (4, Mode::Normal)]);
+    }
+
+    #[test]
+    fn overestimation_bias_causes_overreaction() {
+        // §3.4.4: the same moderate damage stream triggers emergency mode
+        // only through the biased lens.
+        let calibrated = ThresholdPolicy::new(10.0, 3.0);
+        let alarmist = BiasedPerception::new(ThresholdPolicy::new(10.0, 3.0), 3.0);
+        let mut calm = ModeController::new(calibrated);
+        let mut jumpy = ModeController::new(alarmist);
+        for _ in 0..20 {
+            calm.observe(5.0);
+            jumpy.observe(5.0);
+        }
+        assert_eq!(calm.mode(), Mode::Normal);
+        assert_eq!(jumpy.mode(), Mode::Emergency);
+        assert_eq!(calm.switch_count(), 0);
+        assert!(jumpy.switch_count() >= 1);
+    }
+
+    #[test]
+    fn complacency_bias_ignores_real_threats() {
+        let complacent = BiasedPerception::new(ThresholdPolicy::new(10.0, 3.0), 0.1);
+        assert_eq!(complacent.next_mode(Mode::Normal, 50.0), Mode::Normal);
+        assert_eq!(complacent.bias(), 0.1);
+        // An unbiased lens would have switched.
+        assert_eq!(
+            ThresholdPolicy::new(10.0, 3.0).next_mode(Mode::Normal, 50.0),
+            Mode::Emergency
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bias")]
+    fn negative_bias_rejected() {
+        let _ = BiasedPerception::new(NeverSwitch, -1.0);
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        // Damage oscillating in the dead band (3..10) causes no switches
+        // after the initial excursion.
+        let mut c = ModeController::new(ThresholdPolicy::new(10.0, 3.0));
+        c.observe(20.0);
+        for _ in 0..100 {
+            c.observe(5.0);
+            c.observe(9.0);
+        }
+        assert_eq!(c.switch_count(), 1);
+        assert_eq!(c.mode(), Mode::Emergency);
+    }
+}

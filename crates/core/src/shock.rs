@@ -1,0 +1,269 @@
+//! Shocks: perturbation events of a given *type*.
+//!
+//! The paper (§4.2): "Suppose that there is an event (a shock) of type D
+//! (say, earthquake of magnitude 7) and the environment changes from C to
+//! C'. It is also possible for the system to change its state as a result of
+//! an event." A [`ShockKind`] captures the type `D` (how much damage events
+//! of this type can do); a [`Shock`] is one realized event; a
+//! [`ShockSchedule`] generates arrival times.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::Config;
+
+/// The *type* of a shock — the envelope of perturbations the designer
+/// anticipates (or fails to anticipate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ShockKind {
+    /// Flip exactly `flips` uniformly-chosen state bits (component damage).
+    BitDamage {
+        /// Number of bits flipped by one event.
+        flips: usize,
+    },
+    /// Flip a uniformly-chosen number of bits in `1..=max_flips` — the
+    /// paper's "at most k component failures" debris event.
+    BoundedBitDamage {
+        /// Upper bound on bits flipped by one event.
+        max_flips: usize,
+    },
+    /// Clear (set to 0) exactly `count` currently-set bits: pure component
+    /// loss, never accidental repair. If fewer are set, clears all of them.
+    ComponentLoss {
+        /// Number of good components destroyed by one event.
+        count: usize,
+    },
+    /// The environment itself changes (constraint swap); the state is
+    /// untouched. The new constraint is supplied by the simulation.
+    EnvironmentShift,
+    /// An X-Event: damage magnitude drawn from a heavy tail (Pareto with
+    /// shape `alpha`, scale 1), truncated to the configuration length.
+    /// Models "events outside the anticipated envelope" (§1).
+    XEvent {
+        /// Pareto tail exponent; smaller ⇒ heavier tail.
+        alpha: f64,
+    },
+}
+
+impl ShockKind {
+    /// Worst-case number of bits one event of this kind can disturb on a
+    /// configuration of length `len` (`None` if unbounded in distribution,
+    /// i.e. only truncated by `len` itself).
+    pub fn worst_case_damage(&self, len: usize) -> Option<usize> {
+        match self {
+            ShockKind::BitDamage { flips } => Some((*flips).min(len)),
+            ShockKind::BoundedBitDamage { max_flips } => Some((*max_flips).min(len)),
+            ShockKind::ComponentLoss { count } => Some((*count).min(len)),
+            ShockKind::EnvironmentShift => Some(0),
+            ShockKind::XEvent { .. } => None,
+        }
+    }
+
+    /// Realize one event of this kind against `state`, returning the shock
+    /// record (indices actually flipped).
+    pub fn strike<R: Rng + ?Sized>(&self, state: &mut Config, rng: &mut R) -> Shock {
+        let flipped = match self {
+            ShockKind::BitDamage { flips } => state.flip_random(*flips, rng),
+            ShockKind::BoundedBitDamage { max_flips } => {
+                let k = if *max_flips == 0 {
+                    0
+                } else {
+                    rng.gen_range(1..=*max_flips)
+                };
+                state.flip_random(k, rng)
+            }
+            ShockKind::ComponentLoss { count } => {
+                let mut ones = state.ones_indices();
+                let take = (*count).min(ones.len());
+                // Fisher–Yates prefix for an unbiased sample of good components.
+                for i in 0..take {
+                    let j = rng.gen_range(i..ones.len());
+                    ones.swap(i, j);
+                }
+                let chosen: Vec<usize> = ones[..take].to_vec();
+                for &i in &chosen {
+                    state.clear(i);
+                }
+                chosen
+            }
+            ShockKind::EnvironmentShift => Vec::new(),
+            ShockKind::XEvent { alpha } => {
+                // Inverse-CDF Pareto sample, floored to an integer damage count.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let magnitude = u.powf(-1.0 / alpha);
+                let k = (magnitude.floor() as usize).min(state.len());
+                state.flip_random(k, rng)
+            }
+        };
+        Shock {
+            kind: self.clone(),
+            flipped_bits: flipped,
+        }
+    }
+}
+
+/// One realized shock event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Shock {
+    /// The type of the event.
+    pub kind: ShockKind,
+    /// Which state bits the event flipped.
+    pub flipped_bits: Vec<usize>,
+}
+
+impl Shock {
+    /// Number of state bits disturbed.
+    pub fn magnitude(&self) -> usize {
+        self.flipped_bits.len()
+    }
+}
+
+/// When shocks arrive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ShockSchedule {
+    /// One shock every `period` steps (first at `period`).
+    Periodic {
+        /// Inter-arrival period in steps; must be ≥ 1.
+        period: usize,
+    },
+    /// Each step, a shock occurs independently with probability `p`.
+    Poisson {
+        /// Per-step arrival probability, in `[0, 1]`.
+        p: f64,
+    },
+    /// Shocks at explicit times.
+    Explicit {
+        /// Sorted list of arrival steps.
+        times: Vec<usize>,
+    },
+    /// No shocks ever (control condition).
+    Never,
+}
+
+impl ShockSchedule {
+    /// Whether a shock arrives at step `t` (steps count from 1).
+    pub fn fires_at<R: Rng + ?Sized>(&self, t: usize, rng: &mut R) -> bool {
+        match self {
+            ShockSchedule::Periodic { period } => *period > 0 && t > 0 && t.is_multiple_of(*period),
+            ShockSchedule::Poisson { p } => rng.gen_bool(p.clamp(0.0, 1.0)),
+            ShockSchedule::Explicit { times } => times.binary_search(&t).is_ok(),
+            ShockSchedule::Never => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn bit_damage_flips_exactly() {
+        let mut rng = seeded_rng(1);
+        let mut state = Config::ones(20);
+        let shock = ShockKind::BitDamage { flips: 4 }.strike(&mut state, &mut rng);
+        assert_eq!(shock.magnitude(), 4);
+        assert_eq!(state.count_zeros(), 4);
+    }
+
+    #[test]
+    fn bounded_bit_damage_within_bound() {
+        let mut rng = seeded_rng(2);
+        for _ in 0..50 {
+            let mut state = Config::ones(30);
+            let shock = ShockKind::BoundedBitDamage { max_flips: 5 }.strike(&mut state, &mut rng);
+            assert!(shock.magnitude() >= 1 && shock.magnitude() <= 5);
+        }
+        // Zero bound means no damage.
+        let mut state = Config::ones(30);
+        let shock = ShockKind::BoundedBitDamage { max_flips: 0 }.strike(&mut state, &mut rng);
+        assert_eq!(shock.magnitude(), 0);
+    }
+
+    #[test]
+    fn component_loss_only_clears_ones() {
+        let mut rng = seeded_rng(3);
+        let mut state: Config = "11110000".parse().unwrap();
+        let shock = ShockKind::ComponentLoss { count: 2 }.strike(&mut state, &mut rng);
+        assert_eq!(shock.magnitude(), 2);
+        assert_eq!(state.count_ones(), 2);
+        // Never flips a zero to one.
+        for &i in &shock.flipped_bits {
+            assert!(!state.get(i));
+            assert!(i < 4, "cleared a bit that was already 0");
+        }
+        // Saturates when fewer ones remain.
+        let shock = ShockKind::ComponentLoss { count: 10 }.strike(&mut state, &mut rng);
+        assert_eq!(shock.magnitude(), 2);
+        assert_eq!(state.count_ones(), 0);
+    }
+
+    #[test]
+    fn environment_shift_leaves_state() {
+        let mut rng = seeded_rng(4);
+        let mut state = Config::ones(8);
+        let shock = ShockKind::EnvironmentShift.strike(&mut state, &mut rng);
+        assert_eq!(shock.magnitude(), 0);
+        assert_eq!(state.count_ones(), 8);
+    }
+
+    #[test]
+    fn xevent_damage_is_heavy_tailed() {
+        let mut rng = seeded_rng(5);
+        let kind = ShockKind::XEvent { alpha: 1.2 };
+        let mut magnitudes = Vec::new();
+        for _ in 0..2000 {
+            let mut state = Config::ones(1000);
+            magnitudes.push(kind.strike(&mut state, &mut rng).magnitude());
+        }
+        // Most events are small, but some are huge — the X-event signature.
+        let small = magnitudes.iter().filter(|&&m| m <= 3).count();
+        let big = magnitudes.iter().filter(|&&m| m >= 50).count();
+        assert!(small > 1200, "expected mostly small events, got {small}");
+        assert!(big > 5, "expected a few catastrophic events, got {big}");
+    }
+
+    #[test]
+    fn worst_case_damage() {
+        assert_eq!(ShockKind::BitDamage { flips: 3 }.worst_case_damage(10), Some(3));
+        assert_eq!(ShockKind::BitDamage { flips: 30 }.worst_case_damage(10), Some(10));
+        assert_eq!(
+            ShockKind::BoundedBitDamage { max_flips: 4 }.worst_case_damage(10),
+            Some(4)
+        );
+        assert_eq!(ShockKind::EnvironmentShift.worst_case_damage(10), Some(0));
+        assert_eq!(ShockKind::XEvent { alpha: 2.0 }.worst_case_damage(10), None);
+    }
+
+    #[test]
+    fn schedules() {
+        let mut rng = seeded_rng(6);
+        let p = ShockSchedule::Periodic { period: 3 };
+        assert!(!p.fires_at(1, &mut rng));
+        assert!(!p.fires_at(2, &mut rng));
+        assert!(p.fires_at(3, &mut rng));
+        assert!(p.fires_at(6, &mut rng));
+
+        let e = ShockSchedule::Explicit { times: vec![2, 7] };
+        assert!(e.fires_at(2, &mut rng));
+        assert!(!e.fires_at(3, &mut rng));
+        assert!(e.fires_at(7, &mut rng));
+
+        assert!(!ShockSchedule::Never.fires_at(1, &mut rng));
+
+        let always = ShockSchedule::Poisson { p: 1.0 };
+        assert!(always.fires_at(5, &mut rng));
+        let never = ShockSchedule::Poisson { p: 0.0 };
+        assert!(!never.fires_at(5, &mut rng));
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_respected() {
+        let mut rng = seeded_rng(7);
+        let s = ShockSchedule::Poisson { p: 0.25 };
+        let fires = (0..4000).filter(|&t| s.fires_at(t, &mut rng)).count();
+        assert!((800..1200).contains(&fires), "got {fires} fires");
+    }
+}

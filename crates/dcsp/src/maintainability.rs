@@ -1,0 +1,472 @@
+//! *K*-maintainability (the paper's §4.3, after Baral & Eiter 2004).
+//!
+//! "We say that a system is K-maintainable if, for any non-normal state of
+//! the system, there exists a sequence of actions (i.e., events controllable
+//! by a system administrator) that move the system back to one of the normal
+//! states within k steps."
+//!
+//! [`TransitionSystem`] is an explicit-state model with *controllable*
+//! actions (the administrator's moves) and *exogenous* transitions (the
+//! environment's moves). Two analyses are provided:
+//!
+//! * [`TransitionSystem::analyze`] — the paper's definition: the
+//!   environment stays quiet during repair. Backward BFS from the normal
+//!   states yields, for every state, the minimum number of controllable
+//!   steps to normality, and a [`MaintenancePolicy`] achieving it. This is
+//!   the polynomial-time construction of Baral & Eiter.
+//! * [`TransitionSystem::analyze_adversarial`] — a strictly stronger
+//!   variant in which after every administrator action the environment may
+//!   take one worst-case exogenous step; computed as a min-max fixed point.
+
+use std::collections::VecDeque;
+
+use resilience_core::{Config, Constraint};
+
+/// Explicit-state transition system with controllable and exogenous moves.
+#[derive(Debug, Clone)]
+pub struct TransitionSystem {
+    n_states: usize,
+    normal: Vec<bool>,
+    /// `controllable[s]` = administrator moves available in `s`.
+    controllable: Vec<Vec<usize>>,
+    /// `exogenous[s]` = environment moves possible from `s`.
+    exogenous: Vec<Vec<usize>>,
+}
+
+/// A memoryless repair policy: for each state, the controllable successor
+/// to move to (or `None` for normal/hopeless states).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintenancePolicy {
+    action: Vec<Option<usize>>,
+}
+
+impl MaintenancePolicy {
+    /// The successor this policy chooses in `state`, if any.
+    pub fn next_state(&self, state: usize) -> Option<usize> {
+        self.action.get(state).copied().flatten()
+    }
+
+    /// Execute the policy from `state` for at most `budget` steps over
+    /// `system`, returning the visited states (including the start).
+    pub fn execute(&self, system: &TransitionSystem, state: usize, budget: usize) -> Vec<usize> {
+        let mut path = vec![state];
+        let mut cur = state;
+        for _ in 0..budget {
+            if system.is_normal(cur) {
+                break;
+            }
+            match self.next_state(cur) {
+                Some(next) => {
+                    path.push(next);
+                    cur = next;
+                }
+                None => break,
+            }
+        }
+        path
+    }
+}
+
+/// Result of a maintainability analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintainabilityReport {
+    /// `levels[s]` = minimum controllable steps from `s` to a normal state
+    /// (`None` if unreachable — the system is not maintainable from `s`).
+    pub levels: Vec<Option<usize>>,
+    /// The constructed policy.
+    pub policy: MaintenancePolicy,
+}
+
+impl MaintainabilityReport {
+    /// The smallest `k` such that the system is k-maintainable, or `None`
+    /// if some state can never reach normality.
+    pub fn min_k(&self) -> Option<usize> {
+        let mut max = 0;
+        for lvl in &self.levels {
+            match lvl {
+                Some(l) => max = max.max(*l),
+                None => return None,
+            }
+        }
+        Some(max)
+    }
+
+    /// Whether every state reaches a normal state within `k` controllable
+    /// steps.
+    pub fn is_k_maintainable(&self, k: usize) -> bool {
+        self.levels.iter().all(|l| matches!(l, Some(x) if *x <= k))
+    }
+
+    /// States from which normality is unreachable.
+    pub fn hopeless_states(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.is_none().then_some(i))
+            .collect()
+    }
+}
+
+impl TransitionSystem {
+    /// Empty system with `n_states` states, no moves, no normal states.
+    pub fn new(n_states: usize) -> Self {
+        TransitionSystem {
+            n_states,
+            normal: vec![false; n_states],
+            controllable: vec![Vec::new(); n_states],
+            exogenous: vec![Vec::new(); n_states],
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n_states
+    }
+
+    /// Whether the system has no states.
+    pub fn is_empty(&self) -> bool {
+        self.n_states == 0
+    }
+
+    /// Mark `state` as normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn mark_normal(&mut self, state: usize) {
+        self.normal[state] = true;
+    }
+
+    /// Whether `state` is normal.
+    pub fn is_normal(&self, state: usize) -> bool {
+        self.normal[state]
+    }
+
+    /// Add a controllable (administrator) move `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_controllable(&mut self, from: usize, to: usize) {
+        assert!(from < self.n_states && to < self.n_states);
+        self.controllable[from].push(to);
+    }
+
+    /// Add an exogenous (environment) move `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_exogenous(&mut self, from: usize, to: usize) {
+        assert!(from < self.n_states && to < self.n_states);
+        self.exogenous[from].push(to);
+    }
+
+    /// Controllable successors of `state`.
+    pub fn controllable_moves(&self, state: usize) -> &[usize] {
+        &self.controllable[state]
+    }
+
+    /// Exogenous successors of `state`.
+    pub fn exogenous_moves(&self, state: usize) -> &[usize] {
+        &self.exogenous[state]
+    }
+
+    /// Build the full `2^n`-state transition system of an `n`-bit DCSP:
+    /// states are configurations (encoded as integers), controllable moves
+    /// are single-bit flips, normal states are those satisfying `env`, and
+    /// exogenous moves are all damages of up to `max_damage` bit flips from
+    /// a *normal* state (shocks strike fit systems).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits > 20` (the explicit state space would exceed ~1M
+    /// states).
+    pub fn from_bit_dcsp(n_bits: usize, env: &dyn Constraint, max_damage: usize) -> Self {
+        assert!(n_bits <= 20, "explicit construction limited to 20 bits");
+        let n_states = 1usize << n_bits;
+        let mut ts = TransitionSystem::new(n_states);
+        for s in 0..n_states {
+            let cfg = Config::from_u64(s as u64, n_bits);
+            if env.is_fit(&cfg) {
+                ts.mark_normal(s);
+            }
+            for b in 0..n_bits {
+                ts.add_controllable(s, s ^ (1 << b));
+            }
+        }
+        // Exogenous damage: from each normal state, every ≤ max_damage flip.
+        for s in 0..n_states {
+            if !ts.normal[s] {
+                continue;
+            }
+            let mut frontier = vec![s];
+            let mut seen = vec![s];
+            for _ in 0..max_damage {
+                let mut next = Vec::new();
+                for &f in &frontier {
+                    for b in 0..n_bits {
+                        let t = f ^ (1 << b);
+                        if !seen.contains(&t) {
+                            seen.push(t);
+                            next.push(t);
+                            ts.add_exogenous(s, t);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+        }
+        ts
+    }
+
+    /// The paper's K-maintainability: backward BFS from the normal states
+    /// over reversed controllable edges. Runs in `O(states + edges)` — the
+    /// polynomial-time construction the paper cites from Baral & Eiter.
+    pub fn analyze(&self) -> MaintainabilityReport {
+        let mut levels: Vec<Option<usize>> = vec![None; self.n_states];
+        let mut policy: Vec<Option<usize>> = vec![None; self.n_states];
+        // Reverse controllable adjacency.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.n_states];
+        for (from, tos) in self.controllable.iter().enumerate() {
+            for &to in tos {
+                rev[to].push(from);
+            }
+        }
+        let mut queue = VecDeque::new();
+        for (s, lvl) in levels.iter_mut().enumerate() {
+            if self.normal[s] {
+                *lvl = Some(0);
+                queue.push_back(s);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            let next_level = levels[s].expect("queued states have levels") + 1;
+            for &p in &rev[s] {
+                if levels[p].is_none() {
+                    levels[p] = Some(next_level);
+                    policy[p] = Some(s);
+                    queue.push_back(p);
+                }
+            }
+        }
+        MaintainabilityReport {
+            levels,
+            policy: MaintenancePolicy { action: policy },
+        }
+    }
+
+    /// Adversarial maintainability: after each administrator action landing
+    /// in `t`, the environment may take one exogenous move out of `t` (or
+    /// stay). `levels[s]` is the worst-case number of administrator steps
+    /// needed; computed by value iteration on the min-max recurrence
+    /// `V(s) = 1 + min_a max_{u ∈ {t_a} ∪ exo(t_a)} V(u)`, `V = 0` on
+    /// normal states.
+    pub fn analyze_adversarial(&self) -> MaintainabilityReport {
+        const INF: usize = usize::MAX / 4;
+        let mut v = vec![INF; self.n_states];
+        let mut policy: Vec<Option<usize>> = vec![None; self.n_states];
+        for (s, value) in v.iter_mut().enumerate() {
+            if self.normal[s] {
+                *value = 0;
+            }
+        }
+        // Value iteration: at most n_states sweeps are needed because
+        // levels only take values in 0..n_states.
+        for _ in 0..self.n_states {
+            let mut changed = false;
+            for s in 0..self.n_states {
+                if self.normal[s] {
+                    continue;
+                }
+                let mut best = INF;
+                let mut best_to = None;
+                for &t in &self.controllable[s] {
+                    // Worst case over the environment's reply.
+                    let mut worst = v[t];
+                    for &u in &self.exogenous[t] {
+                        worst = worst.max(v[u]);
+                    }
+                    if worst < best {
+                        best = worst;
+                        best_to = Some(t);
+                    }
+                }
+                let candidate = if best >= INF { INF } else { best + 1 };
+                if candidate < v[s] {
+                    v[s] = candidate;
+                    policy[s] = best_to;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let levels = v
+            .into_iter()
+            .map(|x| if x >= INF { None } else { Some(x) })
+            .collect();
+        MaintainabilityReport {
+            levels,
+            policy: MaintenancePolicy { action: policy },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::{AllOnes, AtLeastOnes};
+
+    /// A 4-state chain: 3 → 2 → 1 → 0(normal), controllable steps.
+    fn chain() -> TransitionSystem {
+        let mut ts = TransitionSystem::new(4);
+        ts.mark_normal(0);
+        ts.add_controllable(1, 0);
+        ts.add_controllable(2, 1);
+        ts.add_controllable(3, 2);
+        ts
+    }
+
+    #[test]
+    fn chain_levels_and_policy() {
+        let report = chain().analyze();
+        assert_eq!(report.levels, vec![Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(report.min_k(), Some(3));
+        assert!(report.is_k_maintainable(3));
+        assert!(!report.is_k_maintainable(2));
+        assert_eq!(report.policy.next_state(3), Some(2));
+        assert_eq!(report.policy.next_state(0), None);
+        let ts = chain();
+        assert_eq!(report.policy.execute(&ts, 3, 10), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn unreachable_state_blocks_maintainability() {
+        let mut ts = chain();
+        // Add an isolated state 4? n_states fixed at 4; rebuild with 5.
+        let mut ts5 = TransitionSystem::new(5);
+        ts5.mark_normal(0);
+        ts5.add_controllable(1, 0);
+        // State 2,3,4 have no moves.
+        ts5.add_controllable(3, 4);
+        let report = ts5.analyze();
+        assert_eq!(report.min_k(), None);
+        assert_eq!(report.hopeless_states(), vec![2, 3, 4]);
+        assert!(!report.is_k_maintainable(100));
+        // The original chain has no hopeless states.
+        assert!(chain().analyze().hopeless_states().is_empty());
+        ts.add_exogenous(0, 3); // exogenous moves don't affect plain analysis
+        assert_eq!(ts.analyze().min_k(), Some(3));
+    }
+
+    #[test]
+    fn policy_chooses_shortest_route() {
+        // Diamond: 3 →{1,2}, 1→0, 2→0, and a long detour 3→4→...→0.
+        let mut ts = TransitionSystem::new(5);
+        ts.mark_normal(0);
+        ts.add_controllable(3, 4);
+        ts.add_controllable(4, 1);
+        ts.add_controllable(3, 1);
+        ts.add_controllable(1, 0);
+        ts.add_controllable(2, 0);
+        let report = ts.analyze();
+        assert_eq!(report.levels[3], Some(2));
+        // Policy from 3 must go via 1 (level 1), not 4 (level 2).
+        assert_eq!(report.policy.next_state(3), Some(1));
+    }
+
+    #[test]
+    fn bit_dcsp_min_k_equals_max_damage_for_all_ones() {
+        // The spacecraft: from 1^n, ≤ d failures, one repair per step.
+        // Every state with z zeros is z steps from normal, so the worst
+        // reachable state after a shock is d away — but analyze() covers
+        // ALL states, whose worst is n. Restrict to the shocked set by
+        // checking the level of each exogenous successor of the normal
+        // state.
+        let n = 6;
+        let d = 2;
+        let env = AllOnes::new(n);
+        let ts = TransitionSystem::from_bit_dcsp(n, &env, d);
+        let report = ts.analyze();
+        let normal = (1usize << n) - 1; // all ones encoded
+        assert!(ts.is_normal(normal));
+        let worst = ts
+            .exogenous_moves(normal)
+            .iter()
+            .map(|&s| report.levels[s].unwrap())
+            .max()
+            .unwrap();
+        assert_eq!(worst, d);
+        // Global min_k is n (the all-zeros state).
+        assert_eq!(report.min_k(), Some(n));
+    }
+
+    #[test]
+    fn bit_dcsp_tolerant_constraint_shrinks_levels() {
+        let n = 6;
+        let env = AtLeastOnes::new(n, 4);
+        let ts = TransitionSystem::from_bit_dcsp(n, &env, 2);
+        let report = ts.analyze();
+        // All-zeros needs exactly 4 set bits.
+        assert_eq!(report.levels[0], Some(4));
+        assert_eq!(report.min_k(), Some(4));
+    }
+
+    #[test]
+    fn adversarial_is_at_least_plain() {
+        let n = 5;
+        let env = AtLeastOnes::new(n, 3);
+        let ts = TransitionSystem::from_bit_dcsp(n, &env, 1);
+        let plain = ts.analyze();
+        let adv = ts.analyze_adversarial();
+        for s in 0..ts.len() {
+            match (plain.levels[s], adv.levels[s]) {
+                (Some(p), Some(a)) => assert!(a >= p, "state {s}: adv {a} < plain {p}"),
+                (None, Some(_)) => panic!("adversarial easier than plain at {s}"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_with_hostile_environment_can_be_unwinnable() {
+        // 0 normal; 1 →ctrl 0 but exo(0) = {1}: the environment undoes
+        // every repair, so adversarially the system never stabilizes…
+        // Actually V(1) = 1 + max(V(0), V(1-after-exo)): the exo move out
+        // of the *target* 0 goes back to 1, so V(1) = 1 + max(0, V(1)) ⇒
+        // unbounded ⇒ None.
+        let mut ts = TransitionSystem::new(2);
+        ts.mark_normal(0);
+        ts.add_controllable(1, 0);
+        ts.add_exogenous(0, 1);
+        let adv = ts.analyze_adversarial();
+        assert_eq!(adv.levels[1], None);
+        // Plain analysis (quiet environment) says 1 step.
+        assert_eq!(ts.analyze().levels[1], Some(1));
+    }
+
+    #[test]
+    fn adversarial_quiet_environment_matches_plain() {
+        let ts = chain();
+        let plain = ts.analyze();
+        let adv = ts.analyze_adversarial();
+        assert_eq!(plain.levels, adv.levels);
+    }
+
+    #[test]
+    #[should_panic(expected = "20 bits")]
+    fn from_bit_dcsp_rejects_huge_spaces() {
+        let env = AllOnes::new(25);
+        let _ = TransitionSystem::from_bit_dcsp(25, &env, 1);
+    }
+
+    #[test]
+    fn empty_system() {
+        let ts = TransitionSystem::new(0);
+        assert!(ts.is_empty());
+        let report = ts.analyze();
+        assert_eq!(report.min_k(), Some(0));
+    }
+}

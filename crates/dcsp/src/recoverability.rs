@@ -1,0 +1,333 @@
+//! *k*-recoverability (the paper's §4.2).
+//!
+//! "If the system can fix its configuration for any perturbations of type D
+//! within k-steps, we call the system k-recoverable."
+//!
+//! Two checkers are provided: an exhaustive one that enumerates *every*
+//! perturbation the shock type can produce (exact, exponential in the
+//! damage bound), and a Monte-Carlo one for larger systems.
+
+use rand::Rng;
+
+use resilience_core::{Config, Constraint, ShockKind};
+
+use crate::repair::RepairStrategy;
+
+/// Verdict of a recoverability analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverabilityReport {
+    /// The step bound `k` checked against.
+    pub k: usize,
+    /// Number of perturbations examined.
+    pub cases: usize,
+    /// Number of perturbations repaired within `k` steps.
+    pub recovered_within_k: usize,
+    /// Worst repair length observed (including failures counted at their
+    /// step budget).
+    pub worst_steps: usize,
+    /// A witness perturbation that broke the bound, if any (damaged bits).
+    pub counterexample: Option<Vec<usize>>,
+}
+
+impl RecoverabilityReport {
+    /// Whether every examined perturbation recovered within `k`.
+    pub fn is_k_recoverable(&self) -> bool {
+        self.cases == self.recovered_within_k
+    }
+
+    /// Fraction of cases recovered within `k` (1.0 if no cases).
+    pub fn recovery_rate(&self) -> f64 {
+        if self.cases == 0 {
+            1.0
+        } else {
+            self.recovered_within_k as f64 / self.cases as f64
+        }
+    }
+}
+
+/// Exhaustively check k-recoverability of `start` under `env` against all
+/// damage patterns of 1..=`max_damage` bit flips, repairing with
+/// `strategy` (one flip per step, the paper's repair model).
+///
+/// The paper's side condition is honored: "once the spacecraft has
+/// component failures at time t, it will not have another component failure
+/// until time t + k" — i.e. repair runs shock-free.
+///
+/// # Panics
+///
+/// Panics if `start` does not satisfy `env` (recoverability is defined
+/// from a fit configuration).
+pub fn is_k_recoverable_exhaustive<S: RepairStrategy + ?Sized>(
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    max_damage: usize,
+    k: usize,
+) -> RecoverabilityReport {
+    assert!(
+        env.is_fit(start),
+        "k-recoverability is checked from a fit configuration"
+    );
+    let n = start.len();
+    let max_damage = max_damage.min(n);
+    let mut report = RecoverabilityReport {
+        k,
+        cases: 0,
+        recovered_within_k: 0,
+        worst_steps: 0,
+        counterexample: None,
+    };
+    let mut subset: Vec<usize> = Vec::new();
+    enumerate_subsets(n, max_damage, 0, &mut subset, &mut |damage: &[usize]| {
+        let mut state = start.clone();
+        for &b in damage {
+            state.flip(b);
+        }
+        let steps = run_repair(&mut state, env, strategy, k);
+        report.cases += 1;
+        match steps {
+            Some(s) => {
+                report.recovered_within_k += 1;
+                report.worst_steps = report.worst_steps.max(s);
+            }
+            None => {
+                report.worst_steps = report.worst_steps.max(k);
+                if report.counterexample.is_none() {
+                    report.counterexample = Some(damage.to_vec());
+                }
+            }
+        }
+    });
+    report
+}
+
+/// Monte-Carlo recoverability estimate: strike `trials` shocks of `kind`
+/// against `start` and repair each within `k` steps.
+///
+/// # Panics
+///
+/// Panics if `start` does not satisfy `env`.
+pub fn sampled_recoverability<S: RepairStrategy + ?Sized, R: Rng + ?Sized>(
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    kind: &ShockKind,
+    k: usize,
+    trials: usize,
+    rng: &mut R,
+) -> RecoverabilityReport {
+    assert!(
+        env.is_fit(start),
+        "k-recoverability is checked from a fit configuration"
+    );
+    let mut report = RecoverabilityReport {
+        k,
+        cases: 0,
+        recovered_within_k: 0,
+        worst_steps: 0,
+        counterexample: None,
+    };
+    for _ in 0..trials {
+        let mut state = start.clone();
+        let shock = kind.strike(&mut state, rng);
+        report.cases += 1;
+        match run_repair(&mut state, env, strategy, k) {
+            Some(s) => {
+                report.recovered_within_k += 1;
+                report.worst_steps = report.worst_steps.max(s);
+            }
+            None => {
+                report.worst_steps = report.worst_steps.max(k);
+                if report.counterexample.is_none() {
+                    report.counterexample = Some(shock.flipped_bits.clone());
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Run the repair loop for at most `k` flips; `Some(steps)` if fitness was
+/// regained, `None` otherwise.
+fn run_repair<S: RepairStrategy + ?Sized>(
+    state: &mut Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    k: usize,
+) -> Option<usize> {
+    let mut steps = 0;
+    while !env.is_fit(state) {
+        if steps >= k {
+            return None;
+        }
+        match strategy.propose_flip(state, env) {
+            Some(bit) => {
+                state.flip(bit);
+                steps += 1;
+            }
+            None => return None,
+        }
+    }
+    Some(steps)
+}
+
+/// Visit every non-empty subset of `{0..n}` of size ≤ `max_size`.
+fn enumerate_subsets<F: FnMut(&[usize])>(
+    n: usize,
+    max_size: usize,
+    start: usize,
+    current: &mut Vec<usize>,
+    visit: &mut F,
+) {
+    if !current.is_empty() {
+        visit(current);
+    }
+    if current.len() == max_size {
+        return;
+    }
+    for i in start..n {
+        current.push(i);
+        enumerate_subsets(n, max_size, i + 1, current, visit);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::{BfsRepair, GreedyRepair};
+    use resilience_core::{seeded_rng, AllOnes, AtLeastOnes, ExplicitSet};
+
+    #[test]
+    fn spacecraft_is_k_recoverable_for_k_damage() {
+        // The paper's claim: fixing one component per step, the spacecraft
+        // recovers from ≤ k failures within k steps.
+        let n = 10;
+        let start = Config::ones(n);
+        let env = AllOnes::new(n);
+        for k in 1..=3 {
+            let report =
+                is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), k, k);
+            assert!(report.is_k_recoverable(), "k={k}: {report:?}");
+            assert_eq!(report.worst_steps, k);
+        }
+    }
+
+    #[test]
+    fn insufficient_k_is_caught_with_counterexample() {
+        let n = 8;
+        let start = Config::ones(n);
+        let env = AllOnes::new(n);
+        // Damage up to 3 bits but only 2 repair steps allowed.
+        let report = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), 3, 2);
+        assert!(!report.is_k_recoverable());
+        let witness = report.counterexample.as_ref().expect("needs witness");
+        assert_eq!(witness.len(), 3);
+        // Exactly the 3-bit damages fail: C(8,1)+C(8,2) recover, C(8,3) fail.
+        assert_eq!(report.cases, 8 + 28 + 56);
+        assert_eq!(report.recovered_within_k, 8 + 28);
+    }
+
+    #[test]
+    fn case_count_matches_binomial_sums() {
+        let n = 6;
+        let start = Config::ones(n);
+        let env = AllOnes::new(n);
+        let report = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), 2, 2);
+        assert_eq!(report.cases, 6 + 15);
+    }
+
+    #[test]
+    fn tolerant_constraint_needs_fewer_steps() {
+        // With an AtLeastOnes(8,6) environment, a 2-bit damage may still be
+        // fit, or need at most... damage of 2 can drop ones to 6 (still
+        // fit). So everything recovers in 0 steps.
+        let start = Config::ones(8);
+        let env = AtLeastOnes::new(8, 6);
+        let report = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), 2, 0);
+        assert!(report.is_k_recoverable());
+        assert_eq!(report.worst_steps, 0);
+        // 3-bit damage needs exactly 1 repair step.
+        let report = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), 3, 1);
+        assert!(report.is_k_recoverable());
+        assert_eq!(report.worst_steps, 1);
+    }
+
+    #[test]
+    fn strategy_quality_matters_for_recoverability() {
+        // Fit set {1111, 0000}: from 1111, a 3-bit damage leaves one 1;
+        // greedy (Hamming-violation) walks to 0000 in 1 step, BFS also 1.
+        // But consider fit set {111111}: both need d steps.
+        let env: ExplicitSet = ["1111".parse().unwrap(), "0000".parse().unwrap()]
+            .into_iter()
+            .collect();
+        let start: Config = "1111".parse().unwrap();
+        let report =
+            is_k_recoverable_exhaustive(&start, &env, &BfsRepair::new(4), 3, 1);
+        // Any ≤3 damage is within distance 1 of a fit config? damage 2 →
+        // distance 2 from both members. So k=1 must fail for some case.
+        assert!(!report.is_k_recoverable());
+        let report2 = is_k_recoverable_exhaustive(&start, &env, &BfsRepair::new(4), 3, 2);
+        assert!(report2.is_k_recoverable());
+    }
+
+    #[test]
+    #[should_panic(expected = "fit configuration")]
+    fn rejects_unfit_start() {
+        let env = AllOnes::new(4);
+        let start = Config::zeros(4);
+        let _ = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), 1, 1);
+    }
+
+    #[test]
+    fn sampled_agrees_with_exhaustive_on_small_system() {
+        let mut rng = seeded_rng(9);
+        let n = 10;
+        let start = Config::ones(n);
+        let env = AllOnes::new(n);
+        let report = sampled_recoverability(
+            &start,
+            &env,
+            &GreedyRepair::new(),
+            &ShockKind::BoundedBitDamage { max_flips: 3 },
+            3,
+            200,
+            &mut rng,
+        );
+        assert!(report.is_k_recoverable());
+        assert_eq!(report.cases, 200);
+        assert!((report.recovery_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn sampled_detects_failures_under_tight_budget() {
+        let mut rng = seeded_rng(10);
+        let start = Config::ones(12);
+        let env = AllOnes::new(12);
+        let report = sampled_recoverability(
+            &start,
+            &env,
+            &GreedyRepair::new(),
+            &ShockKind::BitDamage { flips: 5 },
+            3,
+            100,
+            &mut rng,
+        );
+        assert_eq!(report.recovered_within_k, 0);
+        assert!(report.counterexample.is_some());
+        assert_eq!(report.recovery_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_report_rate_is_one() {
+        let r = RecoverabilityReport {
+            k: 1,
+            cases: 0,
+            recovered_within_k: 0,
+            worst_steps: 0,
+            counterexample: None,
+        };
+        assert_eq!(r.recovery_rate(), 1.0);
+        assert!(r.is_k_recoverable());
+    }
+}

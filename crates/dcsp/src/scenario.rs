@@ -1,0 +1,255 @@
+//! Scripted scenarios for open dynamic systems.
+//!
+//! The paper's Fig. 4 shows the resilience loop — environment changes,
+//! status updates, adaptation — as an ongoing process, not a single
+//! episode. A [`Scenario`] is a reproducible script of that process:
+//! shocks, environment shifts, repair windows, and idle time, applied to a
+//! [`DcspSystem`] and scored end-to-end with the Bruneau machinery.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use resilience_core::bruneau::{analyze_triangle, ResilienceTriangle};
+use resilience_core::{resilience_loss, Constraint, ShockKind};
+
+use crate::problem::DcspSystem;
+use crate::repair::RepairStrategy;
+
+/// One step of a scenario script.
+#[derive(Clone)]
+pub enum ScenarioStep {
+    /// A shock of the given kind strikes.
+    Shock(ShockKind),
+    /// The environment changes to a new constraint (the paper's C → C').
+    ShiftEnvironment(Arc<dyn Constraint>),
+    /// The system runs its repair strategy for at most this many flips.
+    Repair {
+        /// Flip budget for this window.
+        max_steps: usize,
+    },
+    /// Nothing happens for this many ticks (quality keeps being sampled).
+    Idle(usize),
+}
+
+impl std::fmt::Debug for ScenarioStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioStep::Shock(kind) => write!(f, "Shock({kind:?})"),
+            ScenarioStep::ShiftEnvironment(c) => {
+                write!(f, "ShiftEnvironment({})", c.describe())
+            }
+            ScenarioStep::Repair { max_steps } => write!(f, "Repair(≤{max_steps})"),
+            ScenarioStep::Idle(n) => write!(f, "Idle({n})"),
+        }
+    }
+}
+
+/// A reproducible script of events.
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    steps: Vec<ScenarioStep>,
+}
+
+/// The outcome of running a scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Total Bruneau loss over the whole run.
+    pub total_loss: f64,
+    /// The first shock-to-recovery triangle, if quality ever dipped.
+    pub first_triangle: Option<ResilienceTriangle>,
+    /// Whether the system ended fit.
+    pub ended_fit: bool,
+    /// Total repair flips spent.
+    pub flips_spent: usize,
+    /// Shocks that struck.
+    pub shocks: usize,
+}
+
+impl Scenario {
+    /// An empty scenario.
+    pub fn new() -> Self {
+        Scenario::default()
+    }
+
+    /// Append a shock.
+    pub fn shock(mut self, kind: ShockKind) -> Self {
+        self.steps.push(ScenarioStep::Shock(kind));
+        self
+    }
+
+    /// Append an environment shift.
+    pub fn shift_environment(mut self, env: Arc<dyn Constraint>) -> Self {
+        self.steps.push(ScenarioStep::ShiftEnvironment(env));
+        self
+    }
+
+    /// Append a repair window.
+    pub fn repair(mut self, max_steps: usize) -> Self {
+        self.steps.push(ScenarioStep::Repair { max_steps });
+        self
+    }
+
+    /// Append idle ticks.
+    pub fn idle(mut self, ticks: usize) -> Self {
+        self.steps.push(ScenarioStep::Idle(ticks));
+        self
+    }
+
+    /// The scripted steps.
+    pub fn steps(&self) -> &[ScenarioStep] {
+        &self.steps
+    }
+
+    /// Run the script against `system` with `strategy`, consuming shocks
+    /// from `rng`.
+    pub fn run<S: RepairStrategy + ?Sized, R: Rng + ?Sized>(
+        &self,
+        system: &mut DcspSystem,
+        strategy: &S,
+        rng: &mut R,
+    ) -> ScenarioReport {
+        let mut flips_spent = 0;
+        let mut shocks = 0;
+        for step in &self.steps {
+            match step {
+                ScenarioStep::Shock(kind) => {
+                    system.strike(kind, rng);
+                    shocks += 1;
+                }
+                ScenarioStep::ShiftEnvironment(env) => {
+                    system.shift_environment(Arc::clone(env));
+                }
+                ScenarioStep::Repair { max_steps } => {
+                    let outcome = system.repair(strategy, *max_steps);
+                    flips_spent += outcome.steps;
+                }
+                ScenarioStep::Idle(ticks) => {
+                    for _ in 0..*ticks {
+                        system.idle();
+                    }
+                }
+            }
+        }
+        let trajectory = system.quality_trajectory();
+        ScenarioReport {
+            total_loss: resilience_loss(trajectory),
+            first_triangle: analyze_triangle(trajectory, 100.0).ok().flatten(),
+            ended_fit: system.is_fit(),
+            flips_spent,
+            shocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::GreedyRepair;
+    use resilience_core::{seeded_rng, AllOnes, AtLeastOnes};
+
+    fn system(n: usize) -> DcspSystem {
+        DcspSystem::fit_under(Arc::new(AllOnes::new(n)))
+    }
+
+    #[test]
+    fn quiet_scenario_has_no_loss() {
+        let mut rng = seeded_rng(801);
+        let mut sys = system(8);
+        let report = Scenario::new().idle(20).run(&mut sys, &GreedyRepair::new(), &mut rng);
+        assert_eq!(report.total_loss, 0.0);
+        assert!(report.ended_fit);
+        assert_eq!(report.flips_spent, 0);
+        assert_eq!(report.shocks, 0);
+        assert!(report.first_triangle.is_none());
+    }
+
+    #[test]
+    fn shock_repair_cycle_produces_a_triangle() {
+        let mut rng = seeded_rng(802);
+        let mut sys = system(16);
+        let report = Scenario::new()
+            .idle(3)
+            .shock(ShockKind::BitDamage { flips: 4 })
+            .repair(16)
+            .idle(3)
+            .run(&mut sys, &GreedyRepair::new(), &mut rng);
+        assert!(report.ended_fit);
+        assert_eq!(report.flips_spent, 4);
+        assert_eq!(report.shocks, 1);
+        assert!(report.total_loss > 0.0);
+        let tri = report.first_triangle.expect("quality dipped");
+        assert!(tri.recovered);
+        assert!((tri.recovery_time - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn environment_shift_requires_adaptation() {
+        let mut rng = seeded_rng(803);
+        // Start fit under a lenient constraint, then the world tightens —
+        // the paper's C → C' transition.
+        let mut sys = DcspSystem::new(
+            "1100".parse().unwrap(),
+            Arc::new(AtLeastOnes::new(4, 2)),
+        );
+        let report = Scenario::new()
+            .shift_environment(Arc::new(AllOnes::new(4)))
+            .repair(4)
+            .run(&mut sys, &GreedyRepair::new(), &mut rng);
+        assert!(report.ended_fit);
+        assert_eq!(report.flips_spent, 2);
+        assert_eq!(report.shocks, 0);
+    }
+
+    #[test]
+    fn underbudgeted_repair_leaves_system_unfit() {
+        let mut rng = seeded_rng(804);
+        let mut sys = system(12);
+        let report = Scenario::new()
+            .shock(ShockKind::BitDamage { flips: 6 })
+            .repair(2)
+            .run(&mut sys, &GreedyRepair::new(), &mut rng);
+        assert!(!report.ended_fit);
+        assert_eq!(report.flips_spent, 2);
+        let tri = report.first_triangle.expect("dipped");
+        assert!(!tri.recovered);
+    }
+
+    #[test]
+    fn multi_episode_losses_accumulate() {
+        let mut rng_a = seeded_rng(805);
+        let mut one = system(16);
+        let single = Scenario::new()
+            .shock(ShockKind::BitDamage { flips: 3 })
+            .repair(16)
+            .idle(2)
+            .run(&mut one, &GreedyRepair::new(), &mut rng_a);
+
+        let mut rng_b = seeded_rng(805);
+        let mut two = system(16);
+        let double = Scenario::new()
+            .shock(ShockKind::BitDamage { flips: 3 })
+            .repair(16)
+            .idle(2)
+            .shock(ShockKind::BitDamage { flips: 3 })
+            .repair(16)
+            .idle(2)
+            .run(&mut two, &GreedyRepair::new(), &mut rng_b);
+        assert!(double.total_loss > single.total_loss);
+        assert_eq!(double.shocks, 2);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let scenario = Scenario::new()
+            .shock(ShockKind::BitDamage { flips: 1 })
+            .shift_environment(Arc::new(AllOnes::new(2)))
+            .repair(3)
+            .idle(1);
+        let s = format!("{:?}", scenario.steps());
+        assert!(s.contains("Shock"));
+        assert!(s.contains("ShiftEnvironment"));
+        assert!(s.contains("Repair(≤3)"));
+        assert!(s.contains("Idle(1)"));
+    }
+}

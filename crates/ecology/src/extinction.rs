@@ -1,0 +1,237 @@
+//! Mass-extinction experiments (the paper's §3.2.1).
+//!
+//! "The Permian–Triassic extinction event … caused up to 96% of marine
+//! species to become extinct. One of the reasons that the biological
+//! systems as a whole survived is because of their diversity — some species
+//! had better capability to deal with changing environments."
+//!
+//! Model: each species has a scalar *trait*; the environment has an
+//! *optimum* and a *tolerance*; a species survives a period iff its trait
+//! is within tolerance of the optimum. An extinction event jumps the
+//! optimum. Communities with more trait diversity are more likely to have
+//! at least one survivor.
+
+use rand::Rng;
+
+use crate::diversity::diversity_index;
+
+/// A community of species with scalar traits and populations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Community {
+    /// Trait value per species.
+    pub traits: Vec<f64>,
+    /// Population per species.
+    pub populations: Vec<f64>,
+}
+
+impl Community {
+    /// A monoculture: all population in one trait value.
+    pub fn monoculture(trait_value: f64, population: f64) -> Self {
+        Community {
+            traits: vec![trait_value],
+            populations: vec![population],
+        }
+    }
+
+    /// A community of `n` species with traits spread uniformly over
+    /// `center ± spread`, equal populations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn spread(n: usize, center: f64, spread: f64, total_population: f64) -> Self {
+        assert!(n > 0, "a community needs at least one species");
+        let traits = (0..n)
+            .map(|i| {
+                if n == 1 {
+                    center
+                } else {
+                    center - spread + 2.0 * spread * i as f64 / (n - 1) as f64
+                }
+            })
+            .collect();
+        Community {
+            traits,
+            populations: vec![total_population / n as f64; n],
+        }
+    }
+
+    /// Inverse-Simpson diversity of the community.
+    pub fn diversity(&self) -> f64 {
+        diversity_index(&self.populations).unwrap_or(0.0)
+    }
+
+    /// Species (indices) surviving an environment with the given optimum
+    /// and tolerance.
+    pub fn survivors(&self, optimum: f64, tolerance: f64) -> Vec<usize> {
+        self.traits
+            .iter()
+            .enumerate()
+            .filter(|&(i, &t)| self.populations[i] > 0.0 && (t - optimum).abs() <= tolerance)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Parameters of the extinction experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtinctionExperiment {
+    /// Environmental optimum before the event.
+    pub initial_optimum: f64,
+    /// Survival tolerance around the optimum.
+    pub tolerance: f64,
+    /// Magnitude scale of the shock (optimum jump is uniform in
+    /// `±shock_scale`).
+    pub shock_scale: f64,
+}
+
+/// Aggregate outcome over many shock realizations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtinctionOutcome {
+    /// Trials run.
+    pub trials: usize,
+    /// Trials in which at least one species survived.
+    pub survivals: usize,
+    /// Mean fraction of species surviving per trial.
+    pub mean_survivor_fraction: f64,
+}
+
+impl ExtinctionOutcome {
+    /// Probability the community as a whole persisted.
+    pub fn survival_probability(&self) -> f64 {
+        if self.trials == 0 {
+            1.0
+        } else {
+            self.survivals as f64 / self.trials as f64
+        }
+    }
+}
+
+impl ExtinctionExperiment {
+    /// Run `trials` independent shock realizations against `community`.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        community: &Community,
+        trials: usize,
+        rng: &mut R,
+    ) -> ExtinctionOutcome {
+        let mut survivals = 0;
+        let mut frac_sum = 0.0;
+        let n = community.traits.len().max(1);
+        for _ in 0..trials {
+            let jump = rng.gen_range(-self.shock_scale..=self.shock_scale);
+            let new_optimum = self.initial_optimum + jump;
+            let survivors = community.survivors(new_optimum, self.tolerance);
+            if !survivors.is_empty() {
+                survivals += 1;
+            }
+            frac_sum += survivors.len() as f64 / n as f64;
+        }
+        ExtinctionOutcome {
+            trials,
+            survivals,
+            mean_survivor_fraction: frac_sum / trials.max(1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::seeded_rng;
+
+    #[test]
+    fn spread_community_layout() {
+        let c = Community::spread(5, 0.0, 2.0, 100.0);
+        assert_eq!(c.traits.len(), 5);
+        assert_eq!(c.traits[0], -2.0);
+        assert_eq!(c.traits[4], 2.0);
+        assert!((c.populations.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((c.diversity() - 5.0).abs() < 1e-9);
+        let mono = Community::monoculture(0.0, 100.0);
+        assert!((mono.diversity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survivors_respect_tolerance() {
+        let c = Community::spread(5, 0.0, 2.0, 100.0);
+        // Optimum at 2.0, tolerance 0.5: only the trait-2.0 species.
+        assert_eq!(c.survivors(2.0, 0.5), vec![4]);
+        // Wide tolerance: everyone.
+        assert_eq!(c.survivors(0.0, 3.0).len(), 5);
+        // Nobody.
+        assert!(c.survivors(10.0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn extinct_species_do_not_survive() {
+        let mut c = Community::spread(3, 0.0, 1.0, 30.0);
+        c.populations[1] = 0.0;
+        assert_eq!(c.survivors(0.0, 10.0), vec![0, 2]);
+    }
+
+    /// The E6 reproduction: diversity buys survival under large shocks.
+    #[test]
+    fn diverse_community_outlives_monoculture() {
+        let mut rng = seeded_rng(71);
+        let exp = ExtinctionExperiment {
+            initial_optimum: 0.0,
+            tolerance: 0.5,
+            shock_scale: 3.0,
+        };
+        let mono = Community::monoculture(0.0, 100.0);
+        let diverse = Community::spread(20, 0.0, 3.0, 100.0);
+        let mono_out = exp.run(&mono, 3_000, &mut rng);
+        let div_out = exp.run(&diverse, 3_000, &mut rng);
+        // Monoculture survives only if the jump stays within ±0.5 of 0:
+        // probability ≈ 1/6.
+        assert!(
+            (mono_out.survival_probability() - 1.0 / 6.0).abs() < 0.05,
+            "mono {}",
+            mono_out.survival_probability()
+        );
+        // The spread community covers ±3 with tolerance 0.5 ⇒ ~always
+        // someone survives.
+        assert!(
+            div_out.survival_probability() > 0.95,
+            "diverse {}",
+            div_out.survival_probability()
+        );
+    }
+
+    #[test]
+    fn diversity_trades_mean_for_tail() {
+        // Under *small* shocks the monoculture (optimally placed) does
+        // fine, and diversity's benefit disappears — the optimum-vs-robust
+        // tradeoff of §3.2.3's investment story.
+        let mut rng = seeded_rng(72);
+        let exp = ExtinctionExperiment {
+            initial_optimum: 0.0,
+            tolerance: 0.5,
+            shock_scale: 0.3,
+        };
+        let mono = Community::monoculture(0.0, 100.0);
+        let diverse = Community::spread(20, 0.0, 3.0, 100.0);
+        let mono_out = exp.run(&mono, 2_000, &mut rng);
+        let div_out = exp.run(&diverse, 2_000, &mut rng);
+        assert_eq!(mono_out.survival_probability(), 1.0);
+        // The diverse community also survives (some species near 0)…
+        assert_eq!(div_out.survival_probability(), 1.0);
+        // …but its mean survivor fraction is far lower: most species are
+        // poorly adapted to the mild environment.
+        assert!(div_out.mean_survivor_fraction < 0.5);
+        assert_eq!(mono_out.mean_survivor_fraction, 1.0);
+    }
+
+    #[test]
+    fn zero_trials_is_vacuous_survival() {
+        let mut rng = seeded_rng(73);
+        let exp = ExtinctionExperiment {
+            initial_optimum: 0.0,
+            tolerance: 1.0,
+            shock_scale: 1.0,
+        };
+        let out = exp.run(&Community::monoculture(0.0, 1.0), 0, &mut rng);
+        assert_eq!(out.survival_probability(), 1.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Redundant genomes under gene knockouts (the paper's §3.1.1).
+//!
+//! "E. Coli has approximately 4,300 genes, each of which has its unique
+//! function, but almost 4,000 of them are known to be redundant — that is,
+//! knocking out one of them will not hamper its ability to reproduce"
+//! (Baba et al., the Keio collection).
+//!
+//! Model: a genome of `g` genes of which `e` are *essential*; a knockout
+//! of an essential gene is lethal. Redundancy = the non-essential fraction.
+
+use rand::seq::index::sample;
+use rand::Rng;
+
+/// A genome with a designated essential subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedundantGenome {
+    genes: usize,
+    essential: usize,
+}
+
+/// Outcome of a batch of knockout experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnockoutOutcome {
+    /// Trials run.
+    pub trials: usize,
+    /// Trials in which the organism remained viable.
+    pub viable: usize,
+}
+
+impl KnockoutOutcome {
+    /// Fraction of knockout trials that stayed viable.
+    pub fn viability(&self) -> f64 {
+        if self.trials == 0 {
+            1.0
+        } else {
+            self.viable as f64 / self.trials as f64
+        }
+    }
+}
+
+impl RedundantGenome {
+    /// A genome of `genes` genes, the first `essential` of which are
+    /// essential.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `essential > genes` or `genes == 0`.
+    pub fn new(genes: usize, essential: usize) -> Self {
+        assert!(genes > 0, "a genome needs at least one gene");
+        assert!(essential <= genes, "essential subset cannot exceed the genome");
+        RedundantGenome { genes, essential }
+    }
+
+    /// The E. coli numbers from the paper: 4,300 genes, ~300 essential
+    /// (≈ 4,000 redundant).
+    pub fn e_coli() -> Self {
+        RedundantGenome::new(4_300, 300)
+    }
+
+    /// Total gene count.
+    pub fn genes(&self) -> usize {
+        self.genes
+    }
+
+    /// Essential gene count.
+    pub fn essential(&self) -> usize {
+        self.essential
+    }
+
+    /// Redundant (non-essential) fraction of the genome.
+    pub fn redundancy(&self) -> f64 {
+        (self.genes - self.essential) as f64 / self.genes as f64
+    }
+
+    /// Probability that a *single* uniformly-random knockout is viable
+    /// (exact).
+    pub fn single_knockout_viability(&self) -> f64 {
+        self.redundancy()
+    }
+
+    /// Probability that knocking out `k` distinct uniformly-random genes
+    /// is viable (exact, hypergeometric: all `k` must miss the essential
+    /// set).
+    pub fn multi_knockout_viability(&self, k: usize) -> f64 {
+        if k > self.genes - self.essential {
+            return 0.0;
+        }
+        // Π_{i=0..k-1} (redundant − i) / (genes − i)
+        let mut p = 1.0;
+        for i in 0..k {
+            p *= (self.genes - self.essential - i) as f64 / (self.genes - i) as f64;
+        }
+        p
+    }
+
+    /// Monte-Carlo knockout experiment: `trials` experiments each knocking
+    /// out `k` distinct random genes.
+    pub fn knockout_trials<R: Rng + ?Sized>(
+        &self,
+        k: usize,
+        trials: usize,
+        rng: &mut R,
+    ) -> KnockoutOutcome {
+        let mut viable = 0;
+        for _ in 0..trials {
+            let k = k.min(self.genes);
+            let lethal = sample(rng, self.genes, k)
+                .into_iter()
+                .any(|g| g < self.essential);
+            if !lethal {
+                viable += 1;
+            }
+        }
+        KnockoutOutcome { trials, viable }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use resilience_core::seeded_rng;
+
+    #[test]
+    fn e_coli_numbers() {
+        let g = RedundantGenome::e_coli();
+        assert_eq!(g.genes(), 4_300);
+        assert_eq!(g.essential(), 300);
+        // "almost 4,000 of them are known to be redundant"
+        assert!((g.redundancy() - 4_000.0 / 4_300.0).abs() < 1e-12);
+        assert!(g.single_knockout_viability() > 0.9);
+    }
+
+    #[test]
+    fn single_knockout_matches_fraction() {
+        let g = RedundantGenome::new(100, 25);
+        assert!((g.single_knockout_viability() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_knockout_exact_values() {
+        let g = RedundantGenome::new(4, 1);
+        // k=1: 3/4. k=2: 3/4 · 2/3 = 1/2. k=3: 1/2 · 1/2 = 1/4.
+        assert!((g.multi_knockout_viability(1) - 0.75).abs() < 1e-12);
+        assert!((g.multi_knockout_viability(2) - 0.5).abs() < 1e-12);
+        assert!((g.multi_knockout_viability(3) - 0.25).abs() < 1e-12);
+        assert_eq!(g.multi_knockout_viability(4), 0.0);
+    }
+
+    #[test]
+    fn zero_knockouts_always_viable() {
+        let g = RedundantGenome::new(10, 5);
+        assert_eq!(g.multi_knockout_viability(0), 1.0);
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact() {
+        let mut rng = seeded_rng(81);
+        let g = RedundantGenome::new(200, 40);
+        for k in [1usize, 3, 10] {
+            let out = g.knockout_trials(k, 20_000, &mut rng);
+            let exact = g.multi_knockout_viability(k);
+            assert!(
+                (out.viability() - exact).abs() < 0.02,
+                "k={k}: mc {} vs exact {exact}",
+                out.viability()
+            );
+        }
+    }
+
+    #[test]
+    fn no_redundancy_means_no_viability() {
+        let mut rng = seeded_rng(82);
+        let fragile = RedundantGenome::new(50, 50);
+        assert_eq!(fragile.single_knockout_viability(), 0.0);
+        let out = fragile.knockout_trials(1, 100, &mut rng);
+        assert_eq!(out.viability(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "essential subset")]
+    fn rejects_impossible_essential_count() {
+        let _ = RedundantGenome::new(5, 6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_viability_decreases_in_k(genes in 10usize..200, ess_frac in 0.1f64..0.9) {
+            let essential = ((genes as f64) * ess_frac) as usize;
+            let g = RedundantGenome::new(genes, essential);
+            let mut prev = 1.0;
+            for k in 1..genes.min(20) {
+                let v = g.multi_knockout_viability(k);
+                prop_assert!(v <= prev + 1e-12);
+                prev = v;
+            }
+        }
+
+        #[test]
+        fn prop_more_redundancy_more_viability(genes in 20usize..200, k in 1usize..5) {
+            let tight = RedundantGenome::new(genes, genes / 2);
+            let loose = RedundantGenome::new(genes, genes / 10);
+            prop_assert!(loose.multi_knockout_viability(k) >= tight.multi_knockout_viability(k));
+        }
+    }
+}

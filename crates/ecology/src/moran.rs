@@ -1,0 +1,134 @@
+//! The Moran birth–death process — a second, exactly-solvable population
+//! model used to cross-check the Wright–Fisher machinery.
+//!
+//! For a mutant of relative fitness `r` in a population of size `N`, the
+//! fixation probability from `i` copies is
+//! `ρᵢ = (1 − r⁻ⁱ)/(1 − r⁻ᴺ)` (and `i/N` for `r = 1`).
+
+use rand::Rng;
+
+/// A two-type Moran process: mutants of relative fitness `r` vs residents
+/// of fitness 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoranProcess {
+    /// Population size (constant).
+    pub n: usize,
+    /// Mutant relative fitness.
+    pub r: f64,
+}
+
+impl MoranProcess {
+    /// New process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `r ≤ 0`.
+    pub fn new(n: usize, r: f64) -> Self {
+        assert!(n > 0, "population size must be positive");
+        assert!(r.is_finite() && r > 0.0, "relative fitness must be positive");
+        MoranProcess { n, r }
+    }
+
+    /// Exact fixation probability from `i` mutant copies.
+    pub fn fixation_probability(&self, i: usize) -> f64 {
+        let i = i.min(self.n);
+        if i == 0 {
+            return 0.0;
+        }
+        if (self.r - 1.0).abs() < 1e-12 {
+            return i as f64 / self.n as f64;
+        }
+        let rinv = 1.0 / self.r;
+        (1.0 - rinv.powi(i as i32)) / (1.0 - rinv.powi(self.n as i32))
+    }
+
+    /// Simulate one trajectory from `i` copies until fixation (`true`) or
+    /// extinction (`false`).
+    pub fn simulate<R: Rng + ?Sized>(&self, i: usize, rng: &mut R) -> bool {
+        let mut count = i.min(self.n);
+        loop {
+            if count == 0 {
+                return false;
+            }
+            if count == self.n {
+                return true;
+            }
+            let freq = count as f64 / self.n as f64;
+            // Birth: choose reproducer proportional to fitness.
+            let mutant_weight = self.r * freq;
+            let p_birth_mutant = mutant_weight / (mutant_weight + (1.0 - freq));
+            let birth_is_mutant = rng.gen_bool(p_birth_mutant.clamp(0.0, 1.0));
+            // Death: uniform.
+            let death_is_mutant = rng.gen_bool(freq);
+            match (birth_is_mutant, death_is_mutant) {
+                (true, false) => count += 1,
+                (false, true) => count -= 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Monte-Carlo estimate of the fixation probability from one copy.
+    pub fn simulate_fixation_probability<R: Rng + ?Sized>(
+        &self,
+        trials: usize,
+        rng: &mut R,
+    ) -> f64 {
+        let fixed = (0..trials).filter(|_| self.simulate(1, rng)).count();
+        fixed as f64 / trials.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::seeded_rng;
+
+    #[test]
+    fn neutral_fixation_is_frequency() {
+        let m = MoranProcess::new(20, 1.0);
+        assert!((m.fixation_probability(1) - 0.05).abs() < 1e-12);
+        assert!((m.fixation_probability(10) - 0.5).abs() < 1e-12);
+        assert_eq!(m.fixation_probability(0), 0.0);
+        assert!((m.fixation_probability(20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advantageous_mutant_fixes_more_often() {
+        let neutral = MoranProcess::new(50, 1.0).fixation_probability(1);
+        let adv = MoranProcess::new(50, 1.1).fixation_probability(1);
+        let dis = MoranProcess::new(50, 0.9).fixation_probability(1);
+        assert!(adv > neutral && neutral > dis);
+        // Large-N limit for advantageous: ρ ≈ 1 − 1/r.
+        let big = MoranProcess::new(1_000, 1.5).fixation_probability(1);
+        assert!((big - (1.0 - 2.0 / 3.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn simulation_matches_exact() {
+        let mut rng = seeded_rng(61);
+        for r in [0.9, 1.0, 1.2] {
+            let m = MoranProcess::new(30, r);
+            let sim = m.simulate_fixation_probability(3_000, &mut rng);
+            let exact = m.fixation_probability(1);
+            assert!(
+                (sim - exact).abs() < 0.02,
+                "r={r}: sim {sim} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn absorbing_states() {
+        let mut rng = seeded_rng(62);
+        let m = MoranProcess::new(10, 1.5);
+        assert!(m.simulate(10, &mut rng));
+        assert!(!m.simulate(0, &mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_fitness() {
+        let _ = MoranProcess::new(10, 0.0);
+    }
+}

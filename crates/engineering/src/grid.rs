@@ -1,0 +1,202 @@
+//! Power-grid reserve margins (the paper's §3.1.2).
+//!
+//! "Within 14 months after the earthquake, every one of Japan's 50 nuclear
+//! power stations went into maintenance cycles … Although Japan has lost
+//! almost a third of its electric generation capacity, Japan has never
+//! experienced major blackout during this period. … Japanese electricity
+//! systems have had a huge excessive capacity."
+//!
+//! Model: a grid with `capacity = demand_peak · (1 + reserve_margin)`.
+//! Demand fluctuates; a shock removes a fraction of capacity for a
+//! duration. Blackout occurs whenever demand exceeds available capacity.
+
+use rand::Rng;
+
+use resilience_core::{resilience_loss, QualityTrajectory};
+
+/// A power grid with a reserve margin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerGrid {
+    /// Peak demand (MW, nominal units).
+    pub demand_peak: f64,
+    /// Reserve margin as a fraction of peak demand (0.1 = 10% spare).
+    pub reserve_margin: f64,
+    /// Demand fluctuation amplitude as a fraction of peak (daily swing).
+    pub demand_swing: f64,
+}
+
+/// Result of a grid stress simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridOutcome {
+    /// Steps simulated.
+    pub steps: usize,
+    /// Steps with unserved demand.
+    pub blackout_steps: usize,
+    /// Total unserved energy (demand above available capacity, summed).
+    pub unserved_energy: f64,
+    /// Served-fraction quality trajectory (for Bruneau analysis).
+    pub quality: QualityTrajectory,
+}
+
+impl GridOutcome {
+    /// Whether the grid rode through without any blackout.
+    pub fn rode_through(&self) -> bool {
+        self.blackout_steps == 0
+    }
+
+    /// Bruneau resilience loss of the served-demand quality curve.
+    pub fn resilience_loss(&self) -> f64 {
+        resilience_loss(&self.quality)
+    }
+}
+
+impl PowerGrid {
+    /// New grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand_peak ≤ 0`, `reserve_margin < 0`, or
+    /// `demand_swing ∉ [0, 1]`.
+    pub fn new(demand_peak: f64, reserve_margin: f64, demand_swing: f64) -> Self {
+        assert!(demand_peak > 0.0, "peak demand must be positive");
+        assert!(reserve_margin >= 0.0, "reserve margin cannot be negative");
+        assert!(
+            (0.0..=1.0).contains(&demand_swing),
+            "demand swing must be in [0,1]"
+        );
+        PowerGrid {
+            demand_peak,
+            reserve_margin,
+            demand_swing,
+        }
+    }
+
+    /// Installed capacity.
+    pub fn capacity(&self) -> f64 {
+        self.demand_peak * (1.0 + self.reserve_margin)
+    }
+
+    /// Simulate `steps` steps. At step `shock_at`, a fraction
+    /// `capacity_loss` of capacity goes offline for `outage_duration`
+    /// steps (the nuclear-fleet shutdown). Demand per step is
+    /// `peak · (1 − swing·u)` with `u ~ U(0,1)` plus a sinusoidal daily
+    /// cycle.
+    pub fn simulate_shock<R: Rng + ?Sized>(
+        &self,
+        steps: usize,
+        shock_at: usize,
+        capacity_loss: f64,
+        outage_duration: usize,
+        rng: &mut R,
+    ) -> GridOutcome {
+        let capacity = self.capacity();
+        let mut blackout_steps = 0;
+        let mut unserved = 0.0;
+        let mut quality = QualityTrajectory::new(1.0);
+        for t in 0..steps {
+            let available = if t >= shock_at && t < shock_at + outage_duration {
+                capacity * (1.0 - capacity_loss.clamp(0.0, 1.0))
+            } else {
+                capacity
+            };
+            let cycle = 0.5 + 0.5 * ((t as f64) * std::f64::consts::TAU / 24.0).sin();
+            let noise: f64 = rng.gen_range(0.0..1.0);
+            let demand = self.demand_peak
+                * (1.0 - self.demand_swing * (0.7 * (1.0 - cycle) + 0.3 * noise));
+            if demand > available {
+                blackout_steps += 1;
+                unserved += demand - available;
+                quality.push(100.0 * available / demand);
+            } else {
+                quality.push(100.0);
+            }
+        }
+        GridOutcome {
+            steps,
+            blackout_steps,
+            unserved_energy: unserved,
+            quality,
+        }
+    }
+
+    /// The minimum reserve margin that rides through a loss of
+    /// `capacity_loss` at full peak demand (deterministic worst case):
+    /// `(1 + m)(1 − loss) ≥ 1 ⇔ m ≥ loss/(1 − loss)`.
+    pub fn required_margin(capacity_loss: f64) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&capacity_loss),
+            "loss fraction must be in [0,1)"
+        );
+        capacity_loss / (1.0 - capacity_loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::seeded_rng;
+
+    #[test]
+    fn capacity_includes_margin() {
+        let g = PowerGrid::new(100.0, 0.5, 0.2);
+        assert!((g.capacity() - 150.0).abs() < 1e-12);
+    }
+
+    /// The E8(b) reproduction: a ~33% generation loss is survivable iff
+    /// the reserve margin is large enough.
+    #[test]
+    fn big_margin_rides_through_nuclear_shutdown() {
+        let mut rng = seeded_rng(171);
+        // Japan's story: lose 1/3 of capacity.
+        let loss = 1.0 / 3.0;
+        let lean = PowerGrid::new(100.0, 0.1, 0.2);
+        let fat = PowerGrid::new(100.0, PowerGrid::required_margin(loss) + 0.05, 0.2);
+        let lean_out = lean.simulate_shock(24 * 30, 100, loss, 24 * 14, &mut rng);
+        let fat_out = fat.simulate_shock(24 * 30, 100, loss, 24 * 14, &mut rng);
+        assert!(!lean_out.rode_through(), "lean grid must black out");
+        assert!(fat_out.rode_through(), "fat grid must ride through");
+        assert!(fat_out.resilience_loss() < lean_out.resilience_loss());
+        assert!(lean_out.unserved_energy > 0.0);
+    }
+
+    #[test]
+    fn required_margin_formula() {
+        assert!((PowerGrid::required_margin(1.0 / 3.0) - 0.5).abs() < 1e-12);
+        assert_eq!(PowerGrid::required_margin(0.0), 0.0);
+        // Sanity: (1 + 0.5)(1 − 1/3) = 1.0 exactly.
+        let m = PowerGrid::required_margin(1.0 / 3.0);
+        assert!(((1.0 + m) * (1.0 - 1.0 / 3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_shock_no_blackout() {
+        let mut rng = seeded_rng(172);
+        let g = PowerGrid::new(100.0, 0.05, 0.3);
+        let out = g.simulate_shock(500, 1_000, 0.5, 10, &mut rng); // shock after horizon
+        assert!(out.rode_through());
+        assert_eq!(out.resilience_loss(), 0.0);
+    }
+
+    #[test]
+    fn margin_ladder_reduces_unserved_energy() {
+        let mut rng = seeded_rng(173);
+        let loss = 0.4;
+        let mut prev = f64::INFINITY;
+        for margin in [0.0, 0.2, 0.4, 0.7] {
+            let g = PowerGrid::new(100.0, margin, 0.2);
+            let out = g.simulate_shock(24 * 10, 24, loss, 24 * 5, &mut rng);
+            assert!(
+                out.unserved_energy <= prev,
+                "margin {margin}: unserved {} prev {prev}",
+                out.unserved_energy
+            );
+            prev = out.unserved_energy;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss fraction")]
+    fn required_margin_rejects_total_loss() {
+        let _ = PowerGrid::required_margin(1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Interoperability as redundancy (the paper's §3.1.3).
+//!
+//! "When the United States was attacked … the police departments, the fire
+//! departments, and the secret service had difficulty in communication and
+//! coordination due to the lack of interoperability between their
+//! communication equipments. Interoperability enables one component to
+//! function as a back-up of another component. Thus, interoperability is a
+//! form of redundancy in this context."
+//!
+//! Model: `n` agencies each run their own communication service. Each
+//! service fails independently per step. An agency is *operational* if its
+//! own service is up, or — when interoperability is enabled — if any other
+//! agency's service is up (at reduced effectiveness). The mission needs at
+//! least `quorum` operational agencies.
+
+use rand::Rng;
+
+/// The interoperability scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteropModel {
+    /// Number of agencies/services.
+    pub agencies: usize,
+    /// Per-service, per-step failure probability.
+    pub failure_rate: f64,
+    /// Whether agencies can use each other's surviving services.
+    pub interoperable: bool,
+    /// Minimum operational agencies for the joint mission.
+    pub quorum: usize,
+}
+
+/// Outcome of an interoperability batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteropOutcome {
+    /// Steps evaluated.
+    pub steps: usize,
+    /// Steps on which the mission had quorum.
+    pub mission_capable_steps: usize,
+}
+
+impl InteropOutcome {
+    /// Fraction of steps with quorum.
+    pub fn availability(&self) -> f64 {
+        if self.steps == 0 {
+            1.0
+        } else {
+            self.mission_capable_steps as f64 / self.steps as f64
+        }
+    }
+}
+
+impl InteropModel {
+    /// New scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agencies == 0`, `quorum > agencies`, or the rate is
+    /// outside `[0, 1]`.
+    pub fn new(agencies: usize, failure_rate: f64, interoperable: bool, quorum: usize) -> Self {
+        assert!(agencies > 0, "need at least one agency");
+        assert!(quorum <= agencies, "quorum cannot exceed agency count");
+        assert!(
+            (0.0..=1.0).contains(&failure_rate),
+            "failure rate must be in [0,1]"
+        );
+        InteropModel {
+            agencies,
+            failure_rate,
+            interoperable,
+            quorum,
+        }
+    }
+
+    /// Simulate `steps` independent steps.
+    pub fn run<R: Rng + ?Sized>(&self, steps: usize, rng: &mut R) -> InteropOutcome {
+        let mut capable = 0;
+        for _ in 0..steps {
+            let up: Vec<bool> = (0..self.agencies)
+                .map(|_| !rng.gen_bool(self.failure_rate))
+                .collect();
+            let any_up = up.iter().any(|&u| u);
+            let operational = up
+                .iter()
+                .filter(|&&own| own || (self.interoperable && any_up))
+                .count();
+            if operational >= self.quorum {
+                capable += 1;
+            }
+        }
+        InteropOutcome {
+            steps,
+            mission_capable_steps: capable,
+        }
+    }
+
+    /// Closed-form per-step quorum probability.
+    pub fn analytic_availability(&self) -> f64 {
+        let n = self.agencies;
+        let p_up = 1.0 - self.failure_rate;
+        if self.interoperable {
+            // With interop, every agency is operational as long as ANY
+            // service survives; quorum met unless all services fail
+            // (quorum 0 is always met).
+            if self.quorum == 0 {
+                1.0
+            } else {
+                1.0 - self.failure_rate.powi(n as i32)
+            }
+        } else {
+            // P(at least quorum of n services up).
+            let mut p = 0.0;
+            for k in self.quorum..=n {
+                p += binom(n, k) * p_up.powi(k as i32) * self.failure_rate.powi((n - k) as i32);
+            }
+            p
+        }
+    }
+}
+
+fn binom(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut r = 1.0;
+    for i in 0..k {
+        r = r * (n - i) as f64 / (i + 1) as f64;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::seeded_rng;
+
+    /// The E8(d) reproduction: interoperability turns n fragile silos into
+    /// an n-way redundant system.
+    #[test]
+    fn interoperability_boosts_availability() {
+        let mut rng = seeded_rng(191);
+        let silo = InteropModel::new(3, 0.2, false, 3);
+        let interop = InteropModel::new(3, 0.2, true, 3);
+        let silo_out = silo.run(50_000, &mut rng);
+        let interop_out = interop.run(50_000, &mut rng);
+        // Silos: all three must be up: 0.8³ = 0.512.
+        assert!((silo_out.availability() - 0.512).abs() < 0.02);
+        // Interop: any service up suffices: 1 − 0.2³ = 0.992.
+        assert!((interop_out.availability() - 0.992).abs() < 0.01);
+        assert!(interop_out.availability() > silo_out.availability() + 0.4);
+    }
+
+    #[test]
+    fn analytic_matches_simulation() {
+        let mut rng = seeded_rng(192);
+        for interop in [false, true] {
+            let m = InteropModel::new(4, 0.3, interop, 2);
+            let sim = m.run(100_000, &mut rng).availability();
+            let exact = m.analytic_availability();
+            assert!(
+                (sim - exact).abs() < 0.01,
+                "interop={interop}: sim {sim} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quorum_zero_is_always_met() {
+        let mut rng = seeded_rng(193);
+        let m = InteropModel::new(2, 1.0, true, 0);
+        assert_eq!(m.run(100, &mut rng).availability(), 1.0);
+        assert_eq!(m.analytic_availability(), 1.0);
+    }
+
+    #[test]
+    fn certain_failure_without_interop() {
+        let m = InteropModel::new(3, 1.0, false, 1);
+        assert_eq!(m.analytic_availability(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn rejects_impossible_quorum() {
+        let _ = InteropModel::new(2, 0.1, true, 3);
+    }
+}

@@ -1,0 +1,316 @@
+//! The Drossel–Schwabl forest-fire model with suppression policies
+//! (the paper's §3.2.3).
+//!
+//! "In the domain of forest management, it is a common wisdom not to
+//! extinguish small forest fires and let the patch of the forest
+//! rejuvenate. Otherwise, every part of the forest gets older and dryer,
+//! and the risk of a large-scale forest fire would much increase. The
+//! diversity of tree ages in a forest is a key to keep the forest
+//! resilient."
+//!
+//! Each step: empty cells sprout with probability `growth`; lightning
+//! strikes a random cell with probability `lightning` and burns the whole
+//! connected tree cluster. Under [`ForestPolicy::SuppressSmall`], fires
+//! below the suppression size are extinguished (only the struck tree is
+//! lost) — density then climbs and the rare escaped fire is catastrophic.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fire-management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ForestPolicy {
+    /// Fires burn out naturally (the resilient regime).
+    LetBurn,
+    /// Fires whose cluster is smaller than `threshold` are stopped after
+    /// the first tree; larger fires escape control and burn fully.
+    SuppressSmall {
+        /// Clusters below this size are extinguished immediately.
+        threshold: usize,
+    },
+}
+
+/// A forest lattice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestFire {
+    width: usize,
+    height: usize,
+    tree: Vec<bool>,
+    growth: f64,
+}
+
+/// Outcome of a forest simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestReport {
+    /// Size of every fire that occurred (trees actually burned).
+    pub fire_sizes: Vec<usize>,
+    /// Tree density at sampling intervals.
+    pub density_samples: Vec<f64>,
+}
+
+impl ForestReport {
+    /// The largest fire.
+    pub fn max_fire(&self) -> usize {
+        self.fire_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean density across samples.
+    pub fn mean_density(&self) -> f64 {
+        if self.density_samples.is_empty() {
+            0.0
+        } else {
+            self.density_samples.iter().sum::<f64>() / self.density_samples.len() as f64
+        }
+    }
+
+    /// Fraction of fires at least `size`.
+    pub fn tail_fraction(&self, size: usize) -> f64 {
+        if self.fire_sizes.is_empty() {
+            return 0.0;
+        }
+        self.fire_sizes.iter().filter(|&&s| s >= size).count() as f64
+            / self.fire_sizes.len() as f64
+    }
+}
+
+impl ForestFire {
+    /// An empty forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or `growth ∉ [0, 1]`.
+    pub fn new(width: usize, height: usize, growth: f64) -> Self {
+        assert!(width > 0 && height > 0, "grid must be non-empty");
+        assert!((0.0..=1.0).contains(&growth), "growth must be in [0,1]");
+        ForestFire {
+            width,
+            height,
+            tree: vec![false; width * height],
+            growth,
+        }
+    }
+
+    /// Current tree density.
+    pub fn density(&self) -> f64 {
+        self.tree.iter().filter(|&&t| t).count() as f64 / self.tree.len() as f64
+    }
+
+    /// One step: growth, then a lightning strike with probability
+    /// `lightning`. Returns the fire size if lightning found a tree.
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        lightning: f64,
+        policy: ForestPolicy,
+        rng: &mut R,
+    ) -> Option<usize> {
+        // Growth phase.
+        for cell in self.tree.iter_mut() {
+            if !*cell && rng.gen_bool(self.growth) {
+                *cell = true;
+            }
+        }
+        // Lightning phase.
+        if !rng.gen_bool(lightning.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let i = rng.gen_range(0..self.tree.len());
+        if !self.tree[i] {
+            return None;
+        }
+        let cluster = self.cluster_of(i);
+        match policy {
+            ForestPolicy::LetBurn => {
+                for &c in &cluster {
+                    self.tree[c] = false;
+                }
+                Some(cluster.len())
+            }
+            ForestPolicy::SuppressSmall { threshold } => {
+                if cluster.len() < threshold {
+                    // Fire crews stop it: only the struck tree burns.
+                    self.tree[i] = false;
+                    Some(1)
+                } else {
+                    // The fire escapes control and burns everything.
+                    for &c in &cluster {
+                        self.tree[c] = false;
+                    }
+                    Some(cluster.len())
+                }
+            }
+        }
+    }
+
+    /// Flood-fill the tree cluster containing `start`.
+    fn cluster_of(&self, start: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.tree.len()];
+        let mut stack = vec![start];
+        let mut cluster = Vec::new();
+        seen[start] = true;
+        while let Some(i) = stack.pop() {
+            cluster.push(i);
+            let x = (i % self.width) as isize;
+            let y = (i / self.width) as isize;
+            for (nx, ny) in [(x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)] {
+                if nx >= 0
+                    && ny >= 0
+                    && (nx as usize) < self.width
+                    && (ny as usize) < self.height
+                {
+                    let ni = ny as usize * self.width + nx as usize;
+                    if self.tree[ni] && !seen[ni] {
+                        seen[ni] = true;
+                        stack.push(ni);
+                    }
+                }
+            }
+        }
+        cluster
+    }
+
+    /// Run `steps` steps, recording fires and sampling density every
+    /// `sample_every` steps.
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        steps: usize,
+        lightning: f64,
+        policy: ForestPolicy,
+        sample_every: usize,
+        rng: &mut R,
+    ) -> ForestReport {
+        let mut fire_sizes = Vec::new();
+        let mut density_samples = Vec::new();
+        let sample_every = sample_every.max(1);
+        for t in 1..=steps {
+            if let Some(size) = self.step(lightning, policy, rng) {
+                fire_sizes.push(size);
+            }
+            if t % sample_every == 0 {
+                density_samples.push(self.density());
+            }
+        }
+        ForestReport {
+            fire_sizes,
+            density_samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::seeded_rng;
+
+    #[test]
+    fn growth_fills_empty_forest() {
+        let mut rng = seeded_rng(141);
+        let mut f = ForestFire::new(20, 20, 0.5);
+        assert_eq!(f.density(), 0.0);
+        f.step(0.0, ForestPolicy::LetBurn, &mut rng);
+        assert!(f.density() > 0.3);
+        f.step(0.0, ForestPolicy::LetBurn, &mut rng);
+        assert!(f.density() > 0.6);
+    }
+
+    #[test]
+    fn lightning_burns_whole_cluster_under_let_burn() {
+        let mut rng = seeded_rng(142);
+        let mut f = ForestFire::new(10, 10, 0.0);
+        // Hand-plant a full forest.
+        for c in f.tree.iter_mut() {
+            *c = true;
+        }
+        let size = f.step(1.0, ForestPolicy::LetBurn, &mut rng).unwrap();
+        assert_eq!(size, 100);
+        assert_eq!(f.density(), 0.0);
+    }
+
+    #[test]
+    fn suppression_stops_small_fires() {
+        let mut rng = seeded_rng(143);
+        let mut f = ForestFire::new(10, 10, 0.0);
+        for c in f.tree.iter_mut() {
+            *c = true;
+        }
+        // Cluster (100) ≥ threshold (1000)? No wait: threshold larger than
+        // cluster ⇒ suppressed: only 1 tree burns.
+        let size = f
+            .step(1.0, ForestPolicy::SuppressSmall { threshold: 1_000 }, &mut rng)
+            .unwrap();
+        assert_eq!(size, 1);
+        assert!((f.density() - 0.99).abs() < 1e-9);
+        // Threshold below the cluster size ⇒ the fire escapes.
+        let size = f
+            .step(1.0, ForestPolicy::SuppressSmall { threshold: 10 }, &mut rng)
+            .unwrap();
+        assert!(size > 10);
+    }
+
+    /// The E10(b) reproduction: suppression raises density and makes the
+    /// worst fire worse.
+    #[test]
+    fn suppression_builds_fuel_for_catastrophe() {
+        // Frequent lightning keeps the natural forest's clusters young and
+        // small; suppression (everything short of a 1000-cell cluster is
+        // stopped) lets fuel accumulate until a spanning fire escapes.
+        let steps = 6_000;
+        let lightning = 1.0;
+        let growth = 0.005;
+
+        let mut rng = seeded_rng(144);
+        let mut natural = ForestFire::new(50, 50, growth);
+        let natural_report =
+            natural.run(steps, lightning, ForestPolicy::LetBurn, 50, &mut rng);
+
+        let mut rng = seeded_rng(144);
+        let mut managed = ForestFire::new(50, 50, growth);
+        let managed_report = managed.run(
+            steps,
+            lightning,
+            ForestPolicy::SuppressSmall { threshold: 1_000 },
+            50,
+            &mut rng,
+        );
+
+        // Suppression keeps the forest denser (fuel accumulates)…
+        assert!(
+            managed_report.mean_density() > natural_report.mean_density() + 0.05,
+            "managed {} vs natural {}",
+            managed_report.mean_density(),
+            natural_report.mean_density()
+        );
+        // …and the worst escaped fire dwarfs the natural regime's.
+        assert!(
+            managed_report.max_fire() as f64 > 2.0 * natural_report.max_fire() as f64,
+            "managed max {} vs natural max {}",
+            managed_report.max_fire(),
+            natural_report.max_fire()
+        );
+        // Catastrophic (≥500-tree) fires occur only under suppression.
+        assert!(managed_report.tail_fraction(500) > natural_report.tail_fraction(500));
+    }
+
+    #[test]
+    fn report_helpers() {
+        let r = ForestReport {
+            fire_sizes: vec![1, 5, 20],
+            density_samples: vec![0.2, 0.4],
+        };
+        assert_eq!(r.max_fire(), 20);
+        assert!((r.mean_density() - 0.3).abs() < 1e-12);
+        assert!((r.tail_fraction(5) - 2.0 / 3.0).abs() < 1e-12);
+        let empty = ForestReport {
+            fire_sizes: vec![],
+            density_samples: vec![],
+        };
+        assert_eq!(empty.max_fire(), 0);
+        assert_eq!(empty.mean_density(), 0.0);
+        assert_eq!(empty.tail_fraction(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "growth")]
+    fn rejects_bad_growth() {
+        let _ = ForestFire::new(5, 5, 1.5);
+    }
+}

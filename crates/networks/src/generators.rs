@@ -1,0 +1,339 @@
+//! Graph generators: Barabási–Albert scale-free networks, Erdős–Rényi
+//! random graphs, and reference lattices.
+
+use rand::Rng;
+
+use crate::graph::Graph;
+
+/// Barabási–Albert preferential attachment: start from a small complete
+/// seed of `m + 1` nodes, then attach each new node to `m` distinct
+/// existing nodes chosen with probability proportional to degree (via the
+/// repeated-endpoint trick). Produces the power-law degree distribution
+/// behind §5.1's scale-free robustness claims.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n < m + 1`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m > 0, "attachment count m must be positive");
+    assert!(n > m, "need more nodes than the seed size");
+    let mut g = Graph::new(n);
+    // Complete seed on m+1 nodes.
+    let seed = m + 1;
+    // Endpoint multiset: each edge contributes both endpoints, so sampling
+    // uniformly from it is degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(4 * n * m);
+    for a in 0..seed {
+        for b in (a + 1)..seed {
+            g.add_edge(a, b);
+            endpoints.push(a as u32);
+            endpoints.push(b as u32);
+        }
+    }
+    for v in seed..n {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())] as usize;
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            g.add_edge(v, t);
+            endpoints.push(v as u32);
+            endpoints.push(t as u32);
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)`: each pair independently connected with
+/// probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+/// A ring lattice where each node connects to its `k` nearest neighbors on
+/// each side.
+///
+/// # Panics
+///
+/// Panics if `2k ≥ n` (the ring would wrap onto itself).
+pub fn ring_lattice(n: usize, k: usize) -> Graph {
+    assert!(n > 2 * k, "ring of {n} nodes cannot host {k} neighbors per side");
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for d in 1..=k {
+            let w = (v + d) % n;
+            g.add_edge(v, w);
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small world: a ring lattice with each edge's far
+/// endpoint rewired to a uniformly random node with probability `beta`
+/// (avoiding self-loops; rewiring avoids duplicating an existing pair
+/// where possible). `beta = 0` is the lattice; `beta = 1` approaches a
+/// random graph. The edge count is always exactly `n·k` — in the rare
+/// collision where a rewired edge already claimed a lattice pair, the
+/// pair is kept as a parallel edge rather than dropped.
+///
+/// # Panics
+///
+/// Panics if `2k ≥ n` or `beta ∉ [0, 1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(n > 2 * k, "ring of {n} nodes cannot host {k} neighbors per side");
+    assert!((0.0..=1.0).contains(&beta), "rewiring probability must be in [0,1]");
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for d in 1..=k {
+            let w = (v + d) % n;
+            if beta > 0.0 && rng.gen_bool(beta) {
+                // Rewire the far endpoint.
+                let mut attempts = 0;
+                loop {
+                    let t = rng.gen_range(0..n);
+                    if t != v && !g.has_edge(v, t) {
+                        g.add_edge(v, t);
+                        break;
+                    }
+                    attempts += 1;
+                    if attempts > 4 * n {
+                        // Dense corner case: fall back to the lattice edge.
+                        g.add_edge(v, w);
+                        break;
+                    }
+                }
+            } else {
+                g.add_edge(v, w);
+            }
+        }
+    }
+    g
+}
+
+/// Planted-partition (stochastic block) graph: `blocks` equal communities
+/// over `n` nodes; within-community pairs connect with probability `p_in`,
+/// cross-community pairs with `p_out`. With `p_in ≫ p_out` this is the
+/// *modularized* architecture §4.5 recommends for damage containment.
+///
+/// # Panics
+///
+/// Panics if `blocks == 0` or either probability is outside `[0, 1]`.
+pub fn planted_partition<R: Rng + ?Sized>(
+    n: usize,
+    blocks: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Graph {
+    assert!(blocks > 0, "need at least one block");
+    assert!((0.0..=1.0).contains(&p_in), "p_in must be in [0,1]");
+    assert!((0.0..=1.0).contains(&p_out), "p_out must be in [0,1]");
+    let mut g = Graph::new(n);
+    let block_of = |v: usize| v * blocks / n.max(1);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let p = if block_of(a) == block_of(b) { p_in } else { p_out };
+            if p > 0.0 && rng.gen_bool(p) {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            g.add_edge(a, b);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::seeded_rng;
+
+    #[test]
+    fn ba_node_and_edge_counts() {
+        let mut rng = seeded_rng(101);
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, &mut rng);
+        assert_eq!(g.len(), n);
+        // Seed: C(m+1, 2) edges; each later node adds m.
+        let expected = m * (m + 1) / 2 + (n - m - 1) * m;
+        assert_eq!(g.edge_count(), expected);
+        // Minimum degree is m.
+        assert!(g.degrees().iter().all(|&d| d >= m));
+    }
+
+    #[test]
+    fn ba_produces_hubs() {
+        let mut rng = seeded_rng(102);
+        let g = barabasi_albert(2_000, 2, &mut rng);
+        let max_deg = *g.degrees().iter().max().unwrap();
+        let mean = g.mean_degree();
+        // Scale-free: the largest hub dwarfs the mean degree.
+        assert!(
+            max_deg as f64 > 8.0 * mean,
+            "max {max_deg} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn ba_degree_distribution_is_heavy_tailed() {
+        let mut rng = seeded_rng(103);
+        let g = barabasi_albert(3_000, 2, &mut rng);
+        let degrees: Vec<f64> = g.degrees().iter().map(|&d| d as f64).collect();
+        // Hill tail-index of a BA network's degree sequence ≈ 2–3; an ER
+        // graph's Poisson degrees give a much larger (thin-tail) value.
+        let hill_ba = resilience_stats::hill_estimator(&degrees, 300).unwrap();
+        let er = erdos_renyi(3_000, 4.0 / 3_000.0, &mut rng);
+        let er_degrees: Vec<f64> = er.degrees().iter().map(|&d| d as f64).collect();
+        let hill_er = resilience_stats::hill_estimator(&er_degrees, 300).unwrap();
+        assert!(
+            hill_ba < 4.0 && hill_er > hill_ba,
+            "BA {hill_ba} vs ER {hill_er}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes than the seed")]
+    fn ba_rejects_tiny_n() {
+        let mut rng = seeded_rng(104);
+        let _ = barabasi_albert(3, 3, &mut rng);
+    }
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let mut rng = seeded_rng(105);
+        let n = 400;
+        let p = 0.02;
+        let g = erdos_renyi(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expected).abs() < 0.2 * expected,
+            "edges {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn er_extreme_probabilities() {
+        let mut rng = seeded_rng(106);
+        assert_eq!(erdos_renyi(20, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi(20, 1.0, &mut rng).edge_count(), 190);
+    }
+
+    #[test]
+    fn ring_lattice_regular() {
+        let g = ring_lattice(10, 2);
+        assert!(g.degrees().iter().all(|&d| d == 4));
+        assert_eq!(g.edge_count(), 20);
+    }
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_the_lattice() {
+        let mut rng = seeded_rng(107);
+        let ws = watts_strogatz(20, 2, 0.0, &mut rng);
+        let ring = ring_lattice(20, 2);
+        assert_eq!(ws.edge_count(), ring.edge_count());
+        assert!(ws.degrees().iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_count() {
+        let mut rng = seeded_rng(108);
+        for beta in [0.1, 0.5, 1.0] {
+            let ws = watts_strogatz(60, 3, beta, &mut rng);
+            assert_eq!(ws.edge_count(), 60 * 3, "beta {beta}");
+            // No self-loop panic occurred, degrees stay reasonable.
+            assert!(ws.degrees().iter().all(|&d| d >= 1));
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_spreads_degrees() {
+        let mut rng = seeded_rng(109);
+        let rewired = watts_strogatz(200, 2, 1.0, &mut rng);
+        let degrees = rewired.degrees();
+        let min = *degrees.iter().min().unwrap();
+        let max = *degrees.iter().max().unwrap();
+        assert!(max > min, "full rewiring breaks the regular lattice");
+    }
+
+    #[test]
+    #[should_panic(expected = "rewiring probability")]
+    fn watts_strogatz_rejects_bad_beta() {
+        let mut rng = seeded_rng(110);
+        let _ = watts_strogatz(10, 1, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn planted_partition_density_structure() {
+        let mut rng = seeded_rng(111);
+        let n = 200;
+        let blocks = 4;
+        let g = planted_partition(n, blocks, 0.3, 0.01, &mut rng);
+        // Count within- vs cross-block edges.
+        let block_of = |v: usize| v * blocks / n;
+        let mut within = 0usize;
+        let mut cross = 0usize;
+        for a in 0..n {
+            for &b in g.neighbors(a) {
+                let b = b as usize;
+                if b > a {
+                    if block_of(a) == block_of(b) {
+                        within += 1;
+                    } else {
+                        cross += 1;
+                    }
+                }
+            }
+        }
+        // Expected within ≈ 4·C(50,2)·0.3 = 1470; cross ≈ 7500·0.01 = 75.
+        assert!(within > 10 * cross, "within {within} vs cross {cross}");
+    }
+
+    #[test]
+    fn planted_partition_extremes() {
+        let mut rng = seeded_rng(112);
+        assert_eq!(planted_partition(30, 3, 0.0, 0.0, &mut rng).edge_count(), 0);
+        let full = planted_partition(12, 3, 1.0, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 12 * 11 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn planted_partition_rejects_zero_blocks() {
+        let mut rng = seeded_rng(113);
+        let _ = planted_partition(10, 0, 0.1, 0.1, &mut rng);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.degrees().iter().all(|&d| d == 4));
+    }
+}

@@ -1,0 +1,164 @@
+//! A compact undirected graph.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected graph stored as adjacency lists over `u32` node ids.
+///
+/// Parallel edges are permitted by the representation but the provided
+/// generators avoid them; self-loops are rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// An edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Add an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or a self-loop.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.adj.len() && b < self.adj.len(), "endpoint out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        self.adj[a].push(b as u32);
+        self.adj[b].push(a as u32);
+        self.edges += 1;
+    }
+
+    /// Whether an edge `a—b` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a < self.adj.len() && self.adj[a].iter().any(|&x| x as usize == b)
+    }
+
+    /// Neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// All degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adj.iter().map(Vec::len).collect()
+    }
+
+    /// Mean degree (`0` for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edges as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Nodes sorted by descending degree (hubs first) — the targeted-attack
+    /// order of §5.1.
+    pub fn nodes_by_degree_desc(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = (0..self.adj.len()).collect();
+        nodes.sort_by_key(|&v| std::cmp::Reverse(self.adj[v].len()));
+        nodes
+    }
+
+    /// Degree distribution as `(degree, count)` pairs, ascending.
+    pub fn degree_distribution(&self) -> Vec<(usize, usize)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for v in 0..self.adj.len() {
+            *counts.entry(self.degree(v)).or_insert(0usize) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!((g.mean_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_endpoint() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn hubs_first_ordering() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        g.add_edge(1, 2);
+        let order = g.nodes_by_degree_desc();
+        assert_eq!(order[0], 0); // the hub
+        assert_eq!(*order.last().unwrap(), 3); // the leaf
+    }
+
+    #[test]
+    fn degree_distribution_counts() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        let dist = g.degree_distribution();
+        assert_eq!(dist, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.mean_degree(), 0.0);
+        assert!(g.nodes_by_degree_desc().is_empty());
+    }
+}

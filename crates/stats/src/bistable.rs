@@ -1,0 +1,201 @@
+//! The canonical tipping-point system: a stochastic double-well (fold
+//! bifurcation) model.
+//!
+//! Dynamics (Euler–Maruyama): `dx = (forcing + x − x³) dt + σ dW`. For
+//! `|forcing| < 2/(3√3) ≈ 0.385` two stable equilibria exist; ramping the
+//! forcing towards the critical value annihilates the occupied well and the
+//! state *tips* to the other branch — the paper's §3.4.1 "system is near a
+//! tipping point" scenario. Approaching the fold, the restoring force
+//! flattens, producing *critical slowing down*: rising variance and lag-1
+//! autocorrelation, the Scheffer early-warning signals.
+
+use rand::Rng;
+
+use resilience_core::TimeSeries;
+
+use crate::distributions::{Gaussian, Sampler};
+
+/// The critical forcing of the normal form `ẋ = a + x − x³`.
+pub const CRITICAL_FORCING: f64 = 0.384_900_179_459_750_4; // 2/(3√3)
+
+/// A stochastic double-well process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BistableProcess {
+    /// Integration step.
+    pub dt: f64,
+    /// Noise intensity σ.
+    pub sigma: f64,
+    /// Initial state (near the lower stable branch).
+    pub x0: f64,
+}
+
+impl Default for BistableProcess {
+    fn default() -> Self {
+        BistableProcess {
+            dt: 0.01,
+            sigma: 0.05,
+            x0: -1.0,
+        }
+    }
+}
+
+/// A simulated run with a forcing ramp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TippingRun {
+    /// The state series `x(t)`.
+    pub series: TimeSeries,
+    /// The forcing applied at each sample.
+    pub forcing: Vec<f64>,
+    /// First sample index at which the state crossed into the upper basin
+    /// (`x > 0.5`), if it tipped.
+    pub tipping_index: Option<usize>,
+}
+
+impl BistableProcess {
+    /// One Euler–Maruyama step from state `x` under `forcing`.
+    ///
+    /// Exposed so controllers (e.g. an anticipatory mode switcher watching
+    /// early-warning signals) can intervene mid-trajectory.
+    pub fn step<R: Rng>(&self, x: f64, forcing: f64, rng: &mut R) -> f64 {
+        let noise = Gaussian::new(0.0, 1.0).expect("valid");
+        let drift = forcing + x - x.powi(3);
+        x + drift * self.dt + self.sigma * self.dt.sqrt() * noise.sample(rng)
+    }
+
+    /// Simulate `steps` samples with forcing ramping linearly from
+    /// `a_start` to `a_end` (set both equal for a stationary control run).
+    pub fn simulate_ramp<R: Rng>(
+        &self,
+        steps: usize,
+        a_start: f64,
+        a_end: f64,
+        rng: &mut R,
+    ) -> TippingRun {
+        let mut x = self.x0;
+        let mut series = TimeSeries::new();
+        let mut forcing = Vec::with_capacity(steps);
+        let mut tipping_index = None;
+        for i in 0..steps {
+            let frac = if steps <= 1 { 0.0 } else { i as f64 / (steps - 1) as f64 };
+            let a = a_start + (a_end - a_start) * frac;
+            x = self.step(x, a, rng);
+            series.push(x);
+            forcing.push(a);
+            if tipping_index.is_none() && x > 0.5 {
+                tipping_index = Some(i);
+            }
+        }
+        TippingRun {
+            series,
+            forcing,
+            tipping_index,
+        }
+    }
+
+    /// Stationary control run at constant forcing `a`.
+    pub fn simulate_stationary<R: Rng>(
+        &self,
+        steps: usize,
+        a: f64,
+        rng: &mut R,
+    ) -> TippingRun {
+        self.simulate_ramp(steps, a, a, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::seeded_rng;
+
+    #[test]
+    fn stationary_run_far_from_fold_stays_in_lower_basin() {
+        let mut rng = seeded_rng(31);
+        let p = BistableProcess::default();
+        let run = p.simulate_stationary(20_000, -0.2, &mut rng);
+        assert_eq!(run.tipping_index, None);
+        // State hovers near the lower equilibrium (≈ −1.1 for a = −0.2).
+        let mean = run.series.mean();
+        assert!(mean < -0.8, "mean {mean}");
+    }
+
+    #[test]
+    fn ramp_past_fold_tips_to_upper_branch() {
+        let mut rng = seeded_rng(32);
+        let p = BistableProcess::default();
+        let run = p.simulate_ramp(40_000, -0.2, CRITICAL_FORCING * 1.3, &mut rng);
+        let tip = run.tipping_index.expect("must tip past the fold");
+        assert!(tip > 1_000, "should not tip immediately, tipped at {tip}");
+        // After tipping the state stays high.
+        let after = &run.series.values()[tip + 500..];
+        let mean_after = after.iter().sum::<f64>() / after.len() as f64;
+        assert!(mean_after > 0.5, "mean after tip {mean_after}");
+    }
+
+    #[test]
+    fn variance_rises_approaching_the_fold() {
+        // Critical slowing down: the pre-tip window has higher variance
+        // than the early window.
+        let mut rng = seeded_rng(33);
+        let p = BistableProcess {
+            sigma: 0.03,
+            ..BistableProcess::default()
+        };
+        let run = p.simulate_ramp(40_000, -0.2, CRITICAL_FORCING * 0.999, &mut rng);
+        let vals = run.series.values();
+        // Detrend by rolling-mean subtraction: critical slowing down shows
+        // up in the *level* fluctuations around the slowly-moving
+        // equilibrium (differencing would hide it — increment variance is
+        // ~σ²dt regardless of the restoring rate).
+        let window = 500;
+        let detrended: Vec<f64> = (window..vals.len())
+            .map(|i| {
+                let m = vals[i - window..i].iter().sum::<f64>() / window as f64;
+                vals[i] - m
+            })
+            .collect();
+        let early_var = TimeSeries::from_values(detrended[2_000..10_000].to_vec()).variance();
+        let late_var = TimeSeries::from_values(detrended[detrended.len() - 8_000..].to_vec())
+            .variance();
+        assert!(
+            late_var > early_var,
+            "late {late_var} should exceed early {early_var}"
+        );
+    }
+
+    #[test]
+    fn autocorrelation_rises_approaching_the_fold() {
+        let mut rng = seeded_rng(34);
+        let p = BistableProcess {
+            sigma: 0.03,
+            ..BistableProcess::default()
+        };
+        let run = p.simulate_ramp(40_000, -0.2, CRITICAL_FORCING * 0.999, &mut rng);
+        let vals = run.series.values();
+        // Remove the slow trend with a rolling-mean subtraction.
+        let window = 500;
+        let detrended: Vec<f64> = (window..vals.len())
+            .map(|i| {
+                let m = vals[i - window..i].iter().sum::<f64>() / window as f64;
+                vals[i] - m
+            })
+            .collect();
+        let early = TimeSeries::from_values(detrended[..8_000].to_vec());
+        let late = TimeSeries::from_values(detrended[detrended.len() - 8_000..].to_vec());
+        assert!(
+            late.lag1_autocorrelation() > early.lag1_autocorrelation(),
+            "late {} vs early {}",
+            late.lag1_autocorrelation(),
+            early.lag1_autocorrelation()
+        );
+    }
+
+    #[test]
+    fn single_step_ramp_is_safe() {
+        let mut rng = seeded_rng(35);
+        let p = BistableProcess::default();
+        let run = p.simulate_ramp(1, 0.0, 1.0, &mut rng);
+        assert_eq!(run.series.len(), 1);
+        assert_eq!(run.forcing, vec![0.0]);
+    }
+}

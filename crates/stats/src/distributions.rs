@@ -1,0 +1,279 @@
+//! Loss-magnitude distributions: Gaussian (the "familiar" world), Pareto
+//! (the paper's power-law X-event world), and lognormal (in between).
+
+use rand::Rng;
+use resilience_core::error::invalid_param;
+use resilience_core::CoreError;
+
+/// A scalar sampler with known theoretical moments (where they exist).
+pub trait Sampler: Send + Sync {
+    /// Draw one value.
+    fn sample<'a>(&self, rng: &mut (dyn rand::RngCore + 'a)) -> f64;
+
+    /// Theoretical mean, or `None` if it diverges.
+    fn theoretical_mean(&self) -> Option<f64>;
+
+    /// Theoretical variance, or `None` if it diverges.
+    fn theoretical_variance(&self) -> Option<f64>;
+}
+
+/// Pareto(xm, α): density `α·xmᵅ / x^(α+1)` for `x ≥ xm`.
+///
+/// * `α ≤ 1` — infinite mean (no insurance premium exists at all).
+/// * `1 < α ≤ 2` — finite mean, infinite variance (sample means converge
+///   agonizingly slowly; the paper's "can not rely on insurance" regime).
+/// * `α > 2` — finite mean and variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Pareto with scale `xm > 0` and shape `alpha > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if parameters are not
+    /// positive and finite.
+    pub fn new(xm: f64, alpha: f64) -> Result<Self, CoreError> {
+        if !(xm.is_finite() && xm > 0.0) {
+            return Err(invalid_param("xm", format!("must be positive, got {xm}")));
+        }
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(invalid_param(
+                "alpha",
+                format!("must be positive, got {alpha}"),
+            ));
+        }
+        Ok(Pareto { xm, alpha })
+    }
+
+    /// The shape parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The scale parameter xm.
+    pub fn scale(&self) -> f64 {
+        self.xm
+    }
+
+    /// Theoretical complementary CDF `P(X > x)`.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x <= self.xm {
+            1.0
+        } else {
+            (self.xm / x).powf(self.alpha)
+        }
+    }
+}
+
+impl Sampler for Pareto {
+    fn sample<'a>(&self, rng: &mut (dyn rand::RngCore + 'a)) -> f64 {
+        // Inverse CDF: xm · U^(−1/α).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.xm * u.powf(-1.0 / self.alpha)
+    }
+
+    fn theoretical_mean(&self) -> Option<f64> {
+        (self.alpha > 1.0).then(|| self.alpha * self.xm / (self.alpha - 1.0))
+    }
+
+    fn theoretical_variance(&self) -> Option<f64> {
+        (self.alpha > 2.0).then(|| {
+            let a = self.alpha;
+            self.xm * self.xm * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        })
+    }
+}
+
+/// Gaussian(μ, σ) via Box–Muller — the "familiar probability distribution"
+/// the paper says fails for extreme events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Gaussian with mean `mu` and standard deviation `sigma ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `sigma` is negative or
+    /// either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, CoreError> {
+        if !mu.is_finite() {
+            return Err(invalid_param("mu", "must be finite"));
+        }
+        if !(sigma.is_finite() && sigma >= 0.0) {
+            return Err(invalid_param("sigma", "must be non-negative and finite"));
+        }
+        Ok(Gaussian { mu, sigma })
+    }
+
+    /// Standard normal.
+    pub fn standard() -> Self {
+        Gaussian { mu: 0.0, sigma: 1.0 }
+    }
+}
+
+impl Sampler for Gaussian {
+    fn sample<'a>(&self, rng: &mut (dyn rand::RngCore + 'a)) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mu + self.sigma * z
+    }
+
+    fn theoretical_mean(&self) -> Option<f64> {
+        Some(self.mu)
+    }
+
+    fn theoretical_variance(&self) -> Option<f64> {
+        Some(self.sigma * self.sigma)
+    }
+}
+
+/// Lognormal(μ, σ): `exp(N(μ, σ))`. All moments finite, but sub-
+/// exponential — heavier than Gaussian, lighter than Pareto.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lognormal {
+    normal: Gaussian,
+}
+
+impl Lognormal {
+    /// Lognormal whose logarithm is `N(mu, sigma)`.
+    ///
+    /// # Errors
+    ///
+    /// Same domain errors as [`Gaussian::new`].
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, CoreError> {
+        Ok(Lognormal {
+            normal: Gaussian::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Sampler for Lognormal {
+    fn sample<'a>(&self, rng: &mut (dyn rand::RngCore + 'a)) -> f64 {
+        self.normal.sample(rng).exp()
+    }
+
+    fn theoretical_mean(&self) -> Option<f64> {
+        let s2 = self.normal.sigma * self.normal.sigma;
+        Some((self.normal.mu + s2 / 2.0).exp())
+    }
+
+    fn theoretical_variance(&self) -> Option<f64> {
+        let s2 = self.normal.sigma * self.normal.sigma;
+        Some(((s2).exp() - 1.0) * (2.0 * self.normal.mu + s2).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience_core::seeded_rng;
+
+    fn draw(s: &dyn Sampler, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed);
+        (0..n).map(|_| s.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn pareto_support_and_params() {
+        let p = Pareto::new(2.0, 1.5).unwrap();
+        assert_eq!(p.alpha(), 1.5);
+        assert_eq!(p.scale(), 2.0);
+        for x in draw(&p, 5000, 1) {
+            assert!(x >= 2.0);
+        }
+    }
+
+    #[test]
+    fn pareto_rejects_bad_params() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(-1.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pareto_moments() {
+        let heavy = Pareto::new(1.0, 0.8).unwrap();
+        assert_eq!(heavy.theoretical_mean(), None);
+        assert_eq!(heavy.theoretical_variance(), None);
+        let mid = Pareto::new(1.0, 1.5).unwrap();
+        assert!((mid.theoretical_mean().unwrap() - 3.0).abs() < 1e-12);
+        assert_eq!(mid.theoretical_variance(), None);
+        let light = Pareto::new(1.0, 3.0).unwrap();
+        assert!((light.theoretical_mean().unwrap() - 1.5).abs() < 1e-12);
+        assert!(light.theoretical_variance().is_some());
+    }
+
+    #[test]
+    fn pareto_sf_matches_empirical() {
+        let p = Pareto::new(1.0, 2.0).unwrap();
+        let xs = draw(&p, 40_000, 2);
+        for probe in [1.5, 2.0, 4.0] {
+            let emp = xs.iter().filter(|&&x| x > probe).count() as f64 / xs.len() as f64;
+            let theory = p.sf(probe);
+            assert!(
+                (emp - theory).abs() < 0.02,
+                "x={probe}: emp {emp} vs theory {theory}"
+            );
+        }
+        assert_eq!(p.sf(0.5), 1.0);
+    }
+
+    #[test]
+    fn gaussian_sample_mean_and_var() {
+        let g = Gaussian::new(5.0, 2.0).unwrap();
+        let xs = draw(&g, 40_000, 3);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+        assert_eq!(g.theoretical_mean(), Some(5.0));
+        assert_eq!(g.theoretical_variance(), Some(4.0));
+    }
+
+    #[test]
+    fn gaussian_standard() {
+        let g = Gaussian::standard();
+        assert_eq!(g.theoretical_mean(), Some(0.0));
+        assert_eq!(g.theoretical_variance(), Some(1.0));
+    }
+
+    #[test]
+    fn gaussian_rejects_bad_params() {
+        assert!(Gaussian::new(f64::INFINITY, 1.0).is_err());
+        assert!(Gaussian::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_correct_mean() {
+        let l = Lognormal::new(0.0, 0.5).unwrap();
+        let xs = draw(&l, 40_000, 4);
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let theory = l.theoretical_mean().unwrap();
+        assert!((mean - theory).abs() / theory < 0.05, "mean {mean} vs {theory}");
+        assert!(l.theoretical_variance().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn samplers_are_object_safe() {
+        let samplers: Vec<Box<dyn Sampler>> = vec![
+            Box::new(Pareto::new(1.0, 2.0).unwrap()),
+            Box::new(Gaussian::standard()),
+            Box::new(Lognormal::new(0.0, 1.0).unwrap()),
+        ];
+        let mut rng = seeded_rng(5);
+        for s in &samplers {
+            let _ = s.sample(&mut rng);
+        }
+    }
+}

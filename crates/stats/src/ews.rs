@@ -1,0 +1,216 @@
+//! Early-warning-signal detection (the paper's §3.4.1, after Scheffer et
+//! al. 2009, *Early-warning signals for critical transitions*).
+//!
+//! Pipeline: detrend the observable with a rolling-mean subtraction, slide
+//! a window computing variance / lag-1 autocorrelation / skewness, then
+//! test each indicator series for a monotone trend with the Kendall-τ
+//! statistic. A strongly positive τ for variance and autocorrelation is the
+//! anticipation signal: the system is approaching a tipping point.
+
+use resilience_core::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the EWS pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwsConfig {
+    /// Rolling-mean window used for detrending.
+    pub detrend_window: usize,
+    /// Sliding window over which each indicator is computed.
+    pub indicator_window: usize,
+    /// Stride between indicator evaluations (≥ 1; larger = faster,
+    /// coarser).
+    pub stride: usize,
+}
+
+impl Default for EwsConfig {
+    fn default() -> Self {
+        EwsConfig {
+            detrend_window: 200,
+            indicator_window: 1_000,
+            stride: 50,
+        }
+    }
+}
+
+/// Indicator trajectories and their trends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EwsReport {
+    /// Rolling variance of the detrended signal.
+    pub variance: TimeSeries,
+    /// Rolling lag-1 autocorrelation of the detrended signal.
+    pub autocorrelation: TimeSeries,
+    /// Rolling skewness of the detrended signal.
+    pub skewness: TimeSeries,
+    /// Kendall τ of the variance series against time.
+    pub variance_trend: f64,
+    /// Kendall τ of the autocorrelation series against time.
+    pub autocorrelation_trend: f64,
+}
+
+impl EwsReport {
+    /// The composite verdict: both variance and autocorrelation trending up
+    /// beyond `tau_threshold` (0.5 is a conventional choice).
+    pub fn warns(&self, tau_threshold: f64) -> bool {
+        self.variance_trend > tau_threshold && self.autocorrelation_trend > tau_threshold
+    }
+}
+
+/// Kendall rank-correlation coefficient τ between `xs` and `ys`
+/// (τ_a variant: ties contribute zero). `NaN` if fewer than 2 points.
+pub fn kendall_tau(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let prod = (xs[j] - xs[i]) * (ys[j] - ys[i]);
+            // Note: an explicit comparison, not `signum()` — the latter
+            // maps +0.0 to 1.0, which would count ties as concordant.
+            if prod > 0.0 {
+                concordant += 1;
+            } else if prod < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Run the EWS pipeline on `signal`, analyzing only `signal[..analyze_to]`
+/// (pass the tipping index to avoid contaminating the indicators with the
+/// post-transition regime; pass `signal.len()` to use everything).
+///
+/// Returns `None` if the analyzed prefix is too short for the configured
+/// windows.
+pub fn early_warning_signals(
+    signal: &TimeSeries,
+    analyze_to: usize,
+    config: &EwsConfig,
+) -> Option<EwsReport> {
+    let vals = &signal.values()[..analyze_to.min(signal.len())];
+    let dw = config.detrend_window.max(2);
+    let iw = config.indicator_window.max(4);
+    let stride = config.stride.max(1);
+    if vals.len() < dw + iw + stride {
+        return None;
+    }
+    // Detrend: subtract the trailing rolling mean.
+    let detrended: Vec<f64> = (dw..vals.len())
+        .map(|i| {
+            let m = vals[i - dw..i].iter().sum::<f64>() / dw as f64;
+            vals[i] - m
+        })
+        .collect();
+    let mut variance = TimeSeries::new();
+    let mut autocorrelation = TimeSeries::new();
+    let mut skewness = TimeSeries::new();
+    let mut idx = iw;
+    while idx <= detrended.len() {
+        let win = TimeSeries::from_values(detrended[idx - iw..idx].to_vec());
+        variance.push(win.variance());
+        autocorrelation.push(win.lag1_autocorrelation());
+        skewness.push(win.skewness());
+        idx += stride;
+    }
+    if variance.len() < 2 {
+        return None;
+    }
+    let time: Vec<f64> = (0..variance.len()).map(|i| i as f64).collect();
+    let variance_trend = kendall_tau(&time, variance.values());
+    let autocorrelation_trend = kendall_tau(&time, autocorrelation.values());
+    Some(EwsReport {
+        variance,
+        autocorrelation,
+        skewness,
+        variance_trend,
+        autocorrelation_trend,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bistable::{BistableProcess, CRITICAL_FORCING};
+    use resilience_core::seeded_rng;
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let up = xs.clone();
+        let down: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((kendall_tau(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&xs, &down) + 1.0).abs() < 1e-12);
+        assert!(kendall_tau(&[1.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn kendall_tau_of_noise_is_small() {
+        let mut rng = seeded_rng(41);
+        use rand::Rng;
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..200).map(|_| rng.gen::<f64>()).collect();
+        assert!(kendall_tau(&xs, &ys).abs() < 0.15);
+    }
+
+    #[test]
+    fn kendall_tau_ties_contribute_zero() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 6.0];
+        // Pairs: (1,2): tie in y → 0; (1,3): concordant; (2,3): concordant.
+        assert!((kendall_tau(&xs, &ys) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// The headline E12 reproduction: warnings precede the tip; the
+    /// stationary control stays quiet.
+    #[test]
+    fn tipping_run_warns_control_does_not() {
+        let mut rng = seeded_rng(42);
+        let p = BistableProcess {
+            sigma: 0.04,
+            ..BistableProcess::default()
+        };
+        let tipping = p.simulate_ramp(60_000, -0.25, CRITICAL_FORCING * 1.05, &mut rng);
+        let control = p.simulate_stationary(60_000, -0.25, &mut rng);
+        let config = EwsConfig::default();
+        let analyze_to = tipping.tipping_index.unwrap_or(tipping.series.len());
+        let warn = early_warning_signals(&tipping.series, analyze_to, &config).unwrap();
+        let quiet = early_warning_signals(&control.series, control.series.len(), &config).unwrap();
+        assert!(
+            warn.variance_trend > 0.35,
+            "variance trend {}",
+            warn.variance_trend
+        );
+        assert!(
+            warn.autocorrelation_trend > 0.3,
+            "ac trend {}",
+            warn.autocorrelation_trend
+        );
+        assert!(warn.variance_trend > quiet.variance_trend + 0.3);
+        assert!(warn.warns(0.3));
+        assert!(!quiet.warns(0.3));
+    }
+
+    #[test]
+    fn too_short_signal_returns_none() {
+        let s = TimeSeries::from_values(vec![0.0; 100]);
+        assert!(early_warning_signals(&s, 100, &EwsConfig::default()).is_none());
+    }
+
+    #[test]
+    fn stride_and_window_clamps() {
+        let mut rng = seeded_rng(43);
+        use rand::Rng;
+        let s: TimeSeries = (0..5_000).map(|_| rng.gen::<f64>()).collect();
+        let cfg = EwsConfig {
+            detrend_window: 0, // clamped to 2
+            indicator_window: 0, // clamped to 4
+            stride: 0, // clamped to 1
+        };
+        let report = early_warning_signals(&s, 5_000, &cfg).unwrap();
+        assert!(report.variance.len() > 100);
+    }
+}

@@ -1,0 +1,64 @@
+//! Diversity as a resilience strategy (§3.2): replicator dynamics, the
+//! diversity index, and a mass-extinction stress test.
+//!
+//! ```bash
+//! cargo run --example ecosystem_diversity
+//! ```
+
+use std::sync::Arc;
+
+use systems_resilience::core::seeded_rng;
+use systems_resilience::ecology::extinction::{Community, ExtinctionExperiment};
+use systems_resilience::ecology::fitness::{DensityDependent, LinearFitness};
+use systems_resilience::ecology::replicator::ReplicatorSim;
+
+fn main() {
+    // Part 1: the replicator equation (§3.2.4).
+    println!("== replicator dynamics: 6 species, fitness gradient 5% ==");
+    let linear = Arc::new(LinearFitness::graded(6, 0.05));
+    let traj = ReplicatorSim::uniform(linear).run(500);
+    println!(
+        "linear fitness        : G {:.2} -> {:.2}  (monoculture: species {} wins)",
+        traj.diversity.values()[0],
+        traj.diversity.values().last().unwrap(),
+        traj.dominant_species()
+    );
+    let dd = Arc::new(DensityDependent::new(
+        (0..6).map(|i| 1.0 + 0.05 * i as f64).collect(),
+        0.9,
+    ));
+    let traj = ReplicatorSim::uniform(dd).run(500);
+    println!(
+        "density-dependent     : G {:.2} -> {:.2}  (diminishing returns preserve diversity)",
+        traj.diversity.values()[0],
+        traj.diversity.values().last().unwrap(),
+    );
+
+    // Part 2: the Permian-style stress test (§3.2.1).
+    println!("\n== mass extinction: environment optimum jumps by up to ±3 ==");
+    let mut rng = seeded_rng(11);
+    let experiment = ExtinctionExperiment {
+        initial_optimum: 0.0,
+        tolerance: 0.5,
+        shock_scale: 3.0,
+    };
+    for species in [1usize, 5, 20] {
+        let community = if species == 1 {
+            Community::monoculture(0.0, 100.0)
+        } else {
+            Community::spread(species, 0.0, 3.0, 100.0)
+        };
+        let out = experiment.run(&community, 3_000, &mut rng);
+        println!(
+            "{species:>2} species (G = {:>5.2}): community survives {:.0}% of shocks, \
+             mean survivor fraction {:.2}",
+            community.diversity(),
+            100.0 * out.survival_probability(),
+            out.mean_survivor_fraction
+        );
+    }
+    println!(
+        "\nThe diverse ecosystem almost always persists — but most of its \
+         species do not.\nResilience depends on the system granularity (§5.2)."
+    );
+}

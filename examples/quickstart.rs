@@ -1,0 +1,49 @@
+//! Quickstart: the core resilience vocabulary in one small program.
+//!
+//! A 16-component system is shocked, repairs itself one bit at a time
+//! (the paper's §4.2 model), and we score the episode with Bruneau's
+//! resilience metric (Fig. 3).
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use systems_resilience::core::bruneau::analyze_triangle;
+use systems_resilience::core::{resilience_loss, seeded_rng, AllOnes, ShockKind};
+use systems_resilience::dcsp::{DcspSystem, GreedyRepair};
+
+fn main() {
+    let mut rng = seeded_rng(42);
+
+    // A system whose environment demands all 16 components good (C = 1^n).
+    let mut system = DcspSystem::fit_under(Arc::new(AllOnes::new(16)));
+    println!("initial state : {}", system.state());
+    println!("fit?          : {}", system.is_fit());
+
+    // An unanticipated event damages up to 5 components.
+    let shock = system.strike(&ShockKind::BoundedBitDamage { max_flips: 5 }, &mut rng);
+    println!("\nshock flipped : {:?}", shock.flipped_bits);
+    println!("state         : {}", system.state());
+    println!("quality       : {:.1}", system.quality());
+
+    // Repair one bit per step until fit again.
+    let outcome = system.repair(&GreedyRepair::new(), 16);
+    println!("\nrepair steps  : {} (flips {:?})", outcome.steps, outcome.flips);
+    println!("recovered     : {}", outcome.recovered);
+
+    // Score the whole episode: the resilience triangle.
+    let quality = system.quality_trajectory();
+    let loss = resilience_loss(quality);
+    println!("\nquality curve : {:?}", quality.samples());
+    println!("Bruneau loss R: {loss:.1}  (smaller = more resilient)");
+    if let Ok(Some(triangle)) = analyze_triangle(quality, 100.0) {
+        println!(
+            "triangle      : drop {:.1}, recovery time {:.1}, robustness {:.2}",
+            triangle.max_drop,
+            triangle.recovery_time,
+            triangle.robustness()
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Integration: the agent testbed measures its population with the
+//! ecology crate's diversity index, and the two stay consistent.
+
+use systems_resilience::agents::budget::BudgetedParams;
+use systems_resilience::agents::dynamics::{SimConfig, Simulation};
+use systems_resilience::agents::environment::{Environment, EnvironmentKind};
+use systems_resilience::agents::experiment::{evaluate_allocation, ShockRegime};
+use systems_resilience::core::{seeded_rng, BudgetAllocation, Strategy};
+use systems_resilience::ecology::diversity_index;
+
+#[test]
+fn population_diversity_stays_within_index_bounds() {
+    let mut rng = seeded_rng(4001);
+    let params = BudgetedParams::from_allocation(&BudgetAllocation::uniform());
+    let env = Environment::random(32, EnvironmentKind::Static, &mut rng);
+    let mut sim = Simulation::new(SimConfig::default(), params, env, &mut rng);
+    for _ in 0..100 {
+        sim.step(&mut rng);
+        let stats = sim.stats();
+        if stats.size > 0 {
+            // G ∈ [1, population size] — the invariant the ecology crate
+            // proves for its index must hold on live agent data too.
+            assert!(stats.genotype_diversity >= 1.0 - 1e-9);
+            assert!(stats.genotype_diversity <= stats.size as f64 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn diversity_budget_actually_raises_measured_diversity() {
+    let mut rng = seeded_rng(4002);
+    let low_d = BudgetedParams::from_allocation(
+        &BudgetAllocation::new(0.9, 0.0, 0.1).expect("valid"),
+    );
+    let high_d = BudgetedParams::from_allocation(
+        &BudgetAllocation::new(0.1, 0.8, 0.1).expect("valid"),
+    );
+    // Compare the *mean* diversity over the run: adaptation continually
+    // pulls lineages back onto the target, so standing diversity is a
+    // churn equilibrium, not a final state.
+    let run = |params, rng: &mut rand_chacha::ChaCha8Rng| {
+        let env = Environment::random(32, EnvironmentKind::Static, rng);
+        let mut sim = Simulation::new(SimConfig::default(), params, env, rng);
+        let out = sim.run(150, rng);
+        out.diversity_series.mean()
+    };
+    let g_low = run(low_d, &mut rng);
+    let g_high = run(high_d, &mut rng);
+    assert!(
+        g_high > g_low + 0.1,
+        "diversity budget must show up in the index: {g_high} vs {g_low}"
+    );
+}
+
+#[test]
+fn index_agrees_with_manual_census() {
+    // Cross-check the population's diversity metric against a direct call
+    // to the ecology index on the genotype census.
+    let mut rng = seeded_rng(4003);
+    let params = BudgetedParams::from_allocation(&BudgetAllocation::uniform());
+    let env = Environment::random(16, EnvironmentKind::Static, &mut rng);
+    let mut sim = Simulation::new(SimConfig::default(), params, env, &mut rng);
+    for _ in 0..30 {
+        sim.step(&mut rng);
+    }
+    let stats = sim.stats();
+    let mut census = std::collections::HashMap::new();
+    for o in sim.population().members() {
+        *census.entry(o.genome.to_string()).or_insert(0.0f64) += 1.0;
+    }
+    let counts: Vec<f64> = census.values().copied().collect();
+    let expected = diversity_index(&counts).expect("non-empty population");
+    assert!((stats.genotype_diversity - expected).abs() < 1e-9);
+}
+
+#[test]
+fn regime_dependence_of_the_optimal_strategy() {
+    // The headline §4.4 result across crates: redundancy-only wins nothing
+    // under drift but survives calm; adaptability-weighted mixes survive
+    // drift.
+    let redundancy = BudgetAllocation::pure(Strategy::Redundancy);
+    let calm = evaluate_allocation(&redundancy, ShockRegime::Calm, 200, 5, 4004);
+    let drift = evaluate_allocation(&redundancy, ShockRegime::SteadyDrift, 200, 5, 4004);
+    assert_eq!(calm.survival_rate(), 1.0);
+    assert_eq!(drift.survival_rate(), 0.0);
+
+    let adaptive = BudgetAllocation::new(0.2, 0.2, 0.6).expect("valid");
+    let drift_adaptive = evaluate_allocation(&adaptive, ShockRegime::SteadyDrift, 200, 5, 4004);
+    assert!(drift_adaptive.survival_rate() > 0.7);
+}

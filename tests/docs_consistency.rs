@@ -1,0 +1,73 @@
+//! The documentation and the code must not drift apart: DESIGN.md's
+//! experiment index, the bench registry, and README's example list all
+//! describe the same artifacts.
+
+use resilience_bench::experiments::registry;
+
+const DESIGN: &str = include_str!("../DESIGN.md");
+const README: &str = include_str!("../README.md");
+
+#[test]
+fn every_registered_experiment_is_indexed_in_design_md() {
+    for (id, _) in registry() {
+        let label = format!("| E{}", id.trim_start_matches('e'));
+        assert!(
+            DESIGN.contains(&label),
+            "DESIGN.md is missing the index row for {id}"
+        );
+    }
+}
+
+#[test]
+fn design_md_does_not_index_unregistered_experiments() {
+    let last = registry().len();
+    let phantom = format!("| E{}", last + 1);
+    assert!(
+        !DESIGN.contains(&phantom),
+        "DESIGN.md indexes E{} but the registry stops at E{last}",
+        last + 1
+    );
+}
+
+#[test]
+fn readme_lists_every_example_binary() {
+    let examples = std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/examples"))
+        .expect("examples directory exists");
+    for entry in examples {
+        let name = entry.expect("readable").file_name();
+        let name = name.to_string_lossy();
+        if let Some(stem) = name.strip_suffix(".rs") {
+            assert!(
+                README.contains(&format!("`{stem}`")),
+                "README.md does not document the `{stem}` example"
+            );
+        }
+    }
+}
+
+#[test]
+fn design_md_crate_inventory_matches_workspace() {
+    for package in [
+        "resilience-core",
+        "resilience-dcsp",
+        "resilience-ecology",
+        "resilience-agents",
+        "resilience-networks",
+        "resilience-stats",
+        "resilience-engineering",
+    ] {
+        assert!(
+            DESIGN.contains(package),
+            "DESIGN.md inventory is missing {package}"
+        );
+        let manifest = format!(
+            "{}/crates/{}/Cargo.toml",
+            env!("CARGO_MANIFEST_DIR"),
+            package.trim_start_matches("resilience-")
+        );
+        assert!(
+            std::path::Path::new(&manifest).exists(),
+            "workspace is missing {manifest}"
+        );
+    }
+}

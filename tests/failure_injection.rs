@@ -1,0 +1,186 @@
+//! Failure injection: the library must degrade gracefully — not panic,
+//! hang, or silently mis-report — when handed hostile inputs:
+//! unsatisfiable environments, stuck repairers, contradictory beliefs,
+//! doomed populations.
+
+use std::sync::Arc;
+
+use systems_resilience::core::{
+    seeded_rng, AllOnes, Config, ExplicitSet, PredicateConstraint, ShockKind,
+};
+use systems_resilience::dcsp::belief::BeliefState;
+use systems_resilience::dcsp::repair::{BfsRepair, GreedyRepair, RepairStrategy};
+use systems_resilience::dcsp::DcspSystem;
+
+#[test]
+fn unsatisfiable_environment_repair_gives_up_cleanly() {
+    // An empty fit set: nothing is ever fit.
+    let empty = ExplicitSet::new(Vec::<Config>::new());
+    let mut sys = DcspSystem::new(Config::zeros(6), Arc::new(empty));
+    assert!(!sys.is_fit());
+    let outcome = sys.repair(&GreedyRepair::new(), 50);
+    assert!(!outcome.recovered);
+    // Greedy can't improve an infinite violation: no wasted steps.
+    assert_eq!(outcome.steps, 0);
+    // BFS likewise terminates without a plan.
+    assert_eq!(
+        BfsRepair::new(6).shortest_plan(sys.state(), sys.environment().as_ref()),
+        None
+    );
+}
+
+#[test]
+fn flat_landscape_strands_greedy_but_not_bfs() {
+    // An indicator constraint (no gradient): greedy is stuck immediately,
+    // BFS still finds the plan.
+    let flat = PredicateConstraint::new("exactly 0b111", |c: &Config| c.to_u64() == 0b111);
+    let state: Config = "010".parse().unwrap();
+    assert_eq!(GreedyRepair::new().propose_flip(&state, &flat), None);
+    let plan = BfsRepair::new(3).shortest_plan(&state, &flat).unwrap();
+    assert_eq!(plan.len(), 2);
+}
+
+#[test]
+fn shocks_on_empty_configurations_are_noops() {
+    let mut rng = seeded_rng(9001);
+    let mut empty = Config::zeros(0);
+    for kind in [
+        ShockKind::BitDamage { flips: 5 },
+        ShockKind::BoundedBitDamage { max_flips: 3 },
+        ShockKind::ComponentLoss { count: 2 },
+        ShockKind::XEvent { alpha: 1.5 },
+    ] {
+        let shock = kind.strike(&mut empty, &mut rng);
+        assert_eq!(shock.magnitude(), 0, "{kind:?}");
+    }
+}
+
+#[test]
+fn contradictory_belief_never_reports_fit() {
+    let env = AllOnes::new(3);
+    let mut belief = BeliefState::certain(Config::ones(3));
+    belief.observe_bit(0, false);
+    belief.observe_bit(0, true); // contradiction: nothing remains
+    assert!(belief.is_contradictory());
+    assert!(!belief.certainly_fit(&env));
+    assert!(!belief.possibly_fit(&env));
+    let (flips, ok) = belief.conservative_repair(&env, 10);
+    assert!(!ok);
+    assert!(flips.is_empty());
+}
+
+#[test]
+fn repair_budget_zero_means_no_flips_ever() {
+    let mut rng = seeded_rng(9002);
+    let mut sys = DcspSystem::fit_under(Arc::new(AllOnes::new(8)));
+    sys.strike(&ShockKind::BitDamage { flips: 3 }, &mut rng);
+    let outcome = sys.repair(&GreedyRepair::new(), 0);
+    assert_eq!(outcome.steps, 0);
+    assert!(!outcome.recovered);
+}
+
+#[test]
+fn doomed_agent_population_reports_extinction_step() {
+    use systems_resilience::agents::budget::BudgetedParams;
+    use systems_resilience::agents::dynamics::{SimConfig, Simulation};
+    use systems_resilience::agents::environment::{Environment, EnvironmentKind};
+
+    let mut rng = seeded_rng(9003);
+    // Income below upkeep even when fit: guaranteed starvation.
+    let config = SimConfig {
+        income: 0.1,
+        upkeep: 1.0,
+        ..SimConfig::default()
+    };
+    let params = BudgetedParams {
+        initial_resource: 3.0,
+        mutation_rate: 0.0,
+        initial_spread: 0.0,
+        adaptation_rate: 1,
+    };
+    let env = Environment::random(16, EnvironmentKind::Static, &mut rng);
+    let mut sim = Simulation::new(config, params, env, &mut rng);
+    let out = sim.run(100, &mut rng);
+    assert!(out.extinct);
+    let step = out.extinction_step.expect("records the step");
+    // 3.0 resource at −0.9/step ⇒ dead in 4 steps.
+    assert!(step <= 5, "died at {step}");
+    // The recorded series stops at extinction.
+    assert_eq!(out.population_series.len(), step + 1);
+    assert_eq!(*out.population_series.values().last().unwrap(), 0.0);
+}
+
+#[test]
+fn storage_array_with_certain_failures_loses_data_immediately() {
+    use systems_resilience::engineering::storage::StorageArray;
+    let mut rng = seeded_rng(9004);
+    let array = StorageArray::new(3, 1, 1.0, 1_000);
+    assert_eq!(array.simulate_to_loss(10, &mut rng), Some(1));
+    let out = array.run_trials(10, 20, &mut rng);
+    assert_eq!(out.survival_probability(), 0.0);
+    assert_eq!(out.mean_steps_to_loss, Some(1.0));
+}
+
+#[test]
+fn grid_with_total_capacity_loss_blacks_out_throughout_outage() {
+    use systems_resilience::engineering::grid::PowerGrid;
+    let mut rng = seeded_rng(9005);
+    let grid = PowerGrid::new(100.0, 0.5, 0.0);
+    let out = grid.simulate_shock(100, 10, 1.0, 30, &mut rng);
+    assert_eq!(out.blackout_steps, 30);
+    assert!(!out.rode_through());
+    assert!(out.unserved_energy > 0.0);
+}
+
+#[test]
+fn sandpile_survives_saturation_bombing() {
+    // Dropping thousands of grains on one cell must terminate (grains
+    // drain off the boundary) and leave every cell below the threshold.
+    use systems_resilience::networks::sandpile::{Sandpile, TOPPLE_AT};
+    let mut pile = Sandpile::new(5, 5);
+    for _ in 0..5_000 {
+        pile.drop_at(2, 2);
+    }
+    for x in 0..5 {
+        for y in 0..5 {
+            assert!(pile.grains_at(x, y) < TOPPLE_AT);
+        }
+    }
+    assert!(pile.density() < TOPPLE_AT as f64);
+}
+
+#[test]
+fn mape_loop_with_total_noise_still_terminates() {
+    use systems_resilience::engineering::mape::MapeLoop;
+    let mut rng = seeded_rng(9006);
+    // Sensor noise 1.0: Monitor reads pure garbage; tracking must not
+    // panic and error stays bounded by the bit count.
+    let m = MapeLoop::new(32, 4, 1.0);
+    let out = m.track_drift(500, 2, &mut rng);
+    assert!(out.mean_error() <= 32.0);
+    assert_eq!(out.steps, 500);
+}
+
+#[test]
+fn insurance_with_zero_capital_is_ruined_by_any_overshoot() {
+    use systems_resilience::stats::distributions::Pareto;
+    use systems_resilience::stats::heavy_tail::InsuranceExperiment;
+    let mut rng = seeded_rng(9007);
+    let exp = InsuranceExperiment {
+        history: 50,
+        loading: 1.0,
+        capital_multiple: 0.0,
+        horizon: 200,
+    };
+    let heavy = Pareto::new(1.0, 1.5).expect("valid");
+    let out = exp.run(&heavy, 100, &mut rng);
+    assert!(out.ruin_probability() > 0.5, "{}", out.ruin_probability());
+    // Capital buffers matter: the conventional (capitalized) insurer is
+    // ruined strictly less often on the same loss stream.
+    let capitalized = InsuranceExperiment {
+        capital_multiple: 10.0,
+        ..exp
+    };
+    let buffered = capitalized.run(&heavy, 100, &mut rng);
+    assert!(buffered.ruin_probability() < out.ruin_probability());
+}

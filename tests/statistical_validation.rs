@@ -1,0 +1,98 @@
+//! Statistical validation: wherever the workspace has both a closed-form
+//! result and a simulator, the two must agree within Monte-Carlo error.
+
+use systems_resilience::core::seeded_rng;
+use systems_resilience::ecology::moran::MoranProcess;
+use systems_resilience::ecology::weak_selection::AlleleDynamics;
+use systems_resilience::engineering::interop::InteropModel;
+use systems_resilience::engineering::nversion::{DesignStrategy, NVersionController};
+use systems_resilience::stats::distributions::{Gaussian, Lognormal, Pareto, Sampler};
+use systems_resilience::stats::descriptive::quantile;
+
+#[test]
+fn pareto_quantiles_match_inverse_cdf() {
+    let mut rng = seeded_rng(20_001);
+    let p = Pareto::new(2.0, 2.0).expect("valid");
+    let xs: Vec<f64> = (0..60_000).map(|_| p.sample(&mut rng)).collect();
+    // Theoretical quantile: x_q = xm·(1−q)^(−1/α).
+    for q in [0.25f64, 0.5, 0.9] {
+        let theory = 2.0 * (1.0 - q).powf(-0.5);
+        let empirical = quantile(&xs, q);
+        assert!(
+            (empirical - theory).abs() / theory < 0.03,
+            "q={q}: empirical {empirical} vs theory {theory}"
+        );
+    }
+}
+
+#[test]
+fn lognormal_median_is_exp_mu() {
+    let mut rng = seeded_rng(20_002);
+    let l = Lognormal::new(1.0, 0.7).expect("valid");
+    let xs: Vec<f64> = (0..60_000).map(|_| l.sample(&mut rng)).collect();
+    let median = quantile(&xs, 0.5);
+    let theory = 1.0f64.exp();
+    assert!(
+        (median - theory).abs() / theory < 0.03,
+        "median {median} vs {theory}"
+    );
+}
+
+#[test]
+fn gaussian_central_interval_has_right_mass() {
+    let mut rng = seeded_rng(20_003);
+    let g = Gaussian::new(0.0, 1.0).expect("valid");
+    let xs: Vec<f64> = (0..60_000).map(|_| g.sample(&mut rng)).collect();
+    // ±1σ should hold ≈ 68.3% of the mass.
+    let within = xs.iter().filter(|x| x.abs() <= 1.0).count() as f64 / xs.len() as f64;
+    assert!((within - 0.683).abs() < 0.01, "within-1σ mass {within}");
+}
+
+#[test]
+fn moran_and_wright_fisher_agree_in_the_neutral_case() {
+    // Both models must reduce to fixation probability = initial frequency
+    // for a neutral allele — the baseline identity the paper's diversity
+    // arguments lean on.
+    let mut rng = seeded_rng(20_004);
+    let n = 40;
+    let moran = MoranProcess::new(n, 1.0);
+    let wf = AlleleDynamics::new(n, 0.0);
+    let trials = 4_000;
+    let moran_fix = moran.simulate_fixation_probability(trials, &mut rng);
+    let wf_fix = wf.simulate_fixation_probability(trials, &mut rng);
+    let expect = 1.0 / n as f64;
+    assert!((moran_fix - expect).abs() < 0.012, "moran {moran_fix}");
+    assert!((wf_fix - expect).abs() < 0.012, "wf {wf_fix}");
+}
+
+#[test]
+fn selection_helps_in_both_population_models() {
+    // Directional consistency: an advantageous mutant fixes more often
+    // than neutral in both the Moran and Wright–Fisher machinery.
+    let n = 60;
+    let moran_neutral = MoranProcess::new(n, 1.0).fixation_probability(1);
+    let moran_adv = MoranProcess::new(n, 1.2).fixation_probability(1);
+    let wf_neutral = AlleleDynamics::new(n, 0.0).fixation_probability();
+    let wf_adv = AlleleDynamics::new(n, 0.1).fixation_probability();
+    assert!(moran_adv > moran_neutral);
+    assert!(wf_adv > wf_neutral);
+}
+
+#[test]
+fn redundancy_formulas_cross_check() {
+    // A 1-of-n interoperable system and an (n−1)-fault-tolerant voter are
+    // the same object; their closed forms must agree.
+    let fail = 0.3;
+    let interop = InteropModel::new(3, fail, true, 1).analytic_availability();
+    // A "controller" that functions while at least 1 of 3 units works is
+    // not the majority voter, so compute directly: 1 − fail³.
+    let direct = 1.0 - fail * fail * fail;
+    assert!((interop - direct).abs() < 1e-12);
+    // And the majority voter must be strictly more demanding than 1-of-3,
+    // strictly less demanding than 3-of-3.
+    let majority = NVersionController::new(3, DesignStrategy::Diverse, 0.0, fail)
+        .analytic_failure_probability();
+    let one_of_three = 1.0 - interop;
+    let all_three = 1.0 - (1.0 - fail).powi(3);
+    assert!(one_of_three < majority && majority < all_three);
+}

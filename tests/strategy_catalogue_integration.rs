@@ -1,0 +1,114 @@
+//! Integration: the three passive strategies, each exercised through two
+//! different subsystems, give consistent qualitative answers.
+
+use systems_resilience::core::seeded_rng;
+use systems_resilience::ecology::genome::RedundantGenome;
+use systems_resilience::engineering::interop::InteropModel;
+use systems_resilience::engineering::nversion::{DesignStrategy, NVersionController};
+use systems_resilience::engineering::storage::StorageArray;
+use systems_resilience::engineering::supply_chain::SupplyChain;
+
+/// Redundancy: biological (gene knockouts) and engineered (parity disks)
+/// redundancy curves are both monotone in the redundancy investment.
+#[test]
+fn redundancy_is_monotone_in_both_domains() {
+    // Biology: more redundant genes ⇒ higher knockout viability.
+    let mut previous = 0.0;
+    for redundant in [0usize, 100, 500, 900] {
+        let genome = RedundantGenome::new(1_000, 1_000 - redundant);
+        let v = genome.multi_knockout_viability(3);
+        assert!(v >= previous);
+        previous = v;
+    }
+    // Engineering: more parity ⇒ higher survival.
+    let mut rng = seeded_rng(2001);
+    let mut previous = 0.0;
+    for parity in 0..=2usize {
+        let out = StorageArray::new(6, parity, 0.002, 2).run_trials(200, 300, &mut rng);
+        assert!(out.survival_probability() >= previous - 0.02);
+        previous = out.survival_probability();
+    }
+}
+
+/// Redundancy: "universal resources" (money) behave like spare parts —
+/// the runway formula and the storage snapshot formula both price spare
+/// capacity against outage depth.
+#[test]
+fn universal_resource_reserves_buy_outage_tolerance() {
+    let firm = SupplyChain::new(10.0, 5.0, 40.0);
+    let runway = firm.runway_periods(); // 8 periods of zero revenue
+    assert!(firm.simulate_outage(0, runway, 0).is_some());
+    assert!(firm.simulate_outage(0, runway + 1, 0).is_none());
+    // Interoperability is redundancy too (§3.1.3): n=3 silos vs interop.
+    let silo = InteropModel::new(3, 0.2, false, 3).analytic_availability();
+    let pooled = InteropModel::new(3, 0.2, true, 3).analytic_availability();
+    assert!(pooled > silo);
+    // The pooled system is exactly a 1-of-3 redundant system.
+    assert!((pooled - (1.0 - 0.2f64.powi(3))).abs() < 1e-12);
+}
+
+/// Diversity: design diversity (777) and ecosystem diversity protect
+/// against the same failure mode — a single common cause taking out every
+/// redundant copy at once.
+#[test]
+fn diversity_defeats_common_modes_redundancy_does_not() {
+    let flaw = 0.02;
+    // Engineering: identical vs diverse designs.
+    let identical = NVersionController::new(3, DesignStrategy::Identical, flaw, 0.001)
+        .analytic_failure_probability();
+    let diverse = NVersionController::new(3, DesignStrategy::Diverse, flaw, 0.001)
+        .analytic_failure_probability();
+    assert!(diverse < identical);
+    // Identical redundancy saturates at the flaw rate no matter how many
+    // copies are added.
+    let identical7 = NVersionController::new(7, DesignStrategy::Identical, flaw, 0.001)
+        .analytic_failure_probability();
+    assert!(identical7 >= flaw * 0.99);
+    // Ecology: a monoculture is the biological "identical design".
+    use systems_resilience::ecology::extinction::{Community, ExtinctionExperiment};
+    let mut rng = seeded_rng(2002);
+    let experiment = ExtinctionExperiment {
+        initial_optimum: 0.0,
+        tolerance: 0.5,
+        shock_scale: 2.0,
+    };
+    let mono = experiment.run(&Community::monoculture(0.0, 10.0), 2_000, &mut rng);
+    let varied = experiment.run(&Community::spread(10, 0.0, 2.0, 10.0), 2_000, &mut rng);
+    assert!(varied.survival_probability() > mono.survival_probability());
+}
+
+/// Adaptability: the MAPE loop (engineering) and the agent testbed
+/// (ecology) agree that survival under drift is a race between adaptation
+/// and change rates.
+#[test]
+fn adaptability_is_a_race_in_both_domains() {
+    use systems_resilience::agents::budget::BudgetedParams;
+    use systems_resilience::agents::dynamics::{SimConfig, Simulation};
+    use systems_resilience::agents::environment::{Environment, EnvironmentKind};
+    use systems_resilience::engineering::mape::MapeLoop;
+
+    let mut rng = seeded_rng(2003);
+    // Engineering side.
+    let slow = MapeLoop::new(64, 1, 0.0).track_drift(1_000, 3, &mut rng);
+    let fast = MapeLoop::new(64, 8, 0.0).track_drift(1_000, 3, &mut rng);
+    assert!(fast.mean_error() < slow.mean_error());
+
+    // Agent side: same race, measured as survival.
+    let drift = EnvironmentKind::Drift { bits_per_step: 2 };
+    let sluggish = BudgetedParams {
+        initial_resource: 6.0,
+        mutation_rate: 0.002,
+        initial_spread: 0.0,
+        adaptation_rate: 0,
+    };
+    let agile = BudgetedParams {
+        adaptation_rate: 4,
+        ..sluggish
+    };
+    let env = Environment::random(32, drift.clone(), &mut rng);
+    let dead = Simulation::new(SimConfig::default(), sluggish, env, &mut rng).run(400, &mut rng);
+    let env = Environment::random(32, drift, &mut rng);
+    let alive = Simulation::new(SimConfig::default(), agile, env, &mut rng).run(400, &mut rng);
+    assert!(dead.extinct);
+    assert!(!alive.extinct);
+}
