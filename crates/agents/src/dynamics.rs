@@ -253,9 +253,11 @@ mod tests {
             ..sluggish
         };
         let e1 = Environment::random(32, drift.clone(), &mut rng);
-        let out_slug = Simulation::new(SimConfig::default(), sluggish, e1, &mut rng).run(400, &mut rng);
+        let out_slug =
+            Simulation::new(SimConfig::default(), sluggish, e1, &mut rng).run(400, &mut rng);
         let e2 = Environment::random(32, drift, &mut rng);
-        let out_agile = Simulation::new(SimConfig::default(), agile, e2, &mut rng).run(400, &mut rng);
+        let out_agile =
+            Simulation::new(SimConfig::default(), agile, e2, &mut rng).run(400, &mut rng);
         assert!(out_slug.extinct, "no adaptation ⇒ extinct under drift");
         assert!(!out_agile.extinct, "fast adaptation tracks the drift");
     }

@@ -99,7 +99,8 @@ mod tests {
     #[test]
     fn drift_changes_every_step() {
         let mut rng = seeded_rng(232);
-        let mut env = Environment::random(32, EnvironmentKind::Drift { bits_per_step: 2 }, &mut rng);
+        let mut env =
+            Environment::random(32, EnvironmentKind::Drift { bits_per_step: 2 }, &mut rng);
         let before = env.target().clone();
         assert_eq!(env.step(&mut rng), 2);
         assert_eq!(env.target().hamming(&before).unwrap(), 2);
@@ -108,11 +109,8 @@ mod tests {
     #[test]
     fn shocks_fire_on_schedule() {
         let mut rng = seeded_rng(233);
-        let mut env = Environment::random(
-            32,
-            EnvironmentKind::Shocks { period: 5, bits: 8 },
-            &mut rng,
-        );
+        let mut env =
+            Environment::random(32, EnvironmentKind::Shocks { period: 5, bits: 8 }, &mut rng);
         let mut changes = Vec::new();
         for _ in 0..10 {
             changes.push(env.step(&mut rng));

@@ -46,7 +46,10 @@ impl ShockRegime {
                 period: 60,
                 bits: 12,
             },
-            ShockRegime::FrequentShocks => EnvironmentKind::Shocks { period: 12, bits: 6 },
+            ShockRegime::FrequentShocks => EnvironmentKind::Shocks {
+                period: 12,
+                bits: 6,
+            },
         }
     }
 }
@@ -122,7 +125,13 @@ pub fn sweep_budgets(
         .iter()
         .enumerate()
         .map(|(i, alloc)| {
-            evaluate_allocation(alloc, regime, steps, replicates, derive_seed(seed, i as u64))
+            evaluate_allocation(
+                alloc,
+                regime,
+                steps,
+                replicates,
+                derive_seed(seed, i as u64),
+            )
         })
         .collect()
 }
@@ -156,7 +165,13 @@ pub fn ablation_rows(
         .iter()
         .enumerate()
         .map(|(i, alloc)| {
-            evaluate_allocation(alloc, regime, steps, replicates, derive_seed(seed, 100 + i as u64))
+            evaluate_allocation(
+                alloc,
+                regime,
+                steps,
+                replicates,
+                derive_seed(seed, 100 + i as u64),
+            )
         })
         .collect()
 }
@@ -177,13 +192,7 @@ mod tests {
 
     #[test]
     fn calm_regime_everything_survives() {
-        let out = evaluate_allocation(
-            &BudgetAllocation::uniform(),
-            ShockRegime::Calm,
-            150,
-            5,
-            1,
-        );
+        let out = evaluate_allocation(&BudgetAllocation::uniform(), ShockRegime::Calm, 150, 5, 1);
         assert_eq!(out.survival_rate(), 1.0);
         assert!(out.mean_final_population > 40.0);
     }
@@ -239,14 +248,29 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = evaluate_allocation(&BudgetAllocation::uniform(), ShockRegime::RareShocks, 100, 3, 7);
-        let b = evaluate_allocation(&BudgetAllocation::uniform(), ShockRegime::RareShocks, 100, 3, 7);
+        let a = evaluate_allocation(
+            &BudgetAllocation::uniform(),
+            ShockRegime::RareShocks,
+            100,
+            3,
+            7,
+        );
+        let b = evaluate_allocation(
+            &BudgetAllocation::uniform(),
+            ShockRegime::RareShocks,
+            100,
+            3,
+            7,
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn regime_kinds() {
-        assert_eq!(ShockRegime::Calm.environment_kind(), EnvironmentKind::Static);
+        assert_eq!(
+            ShockRegime::Calm.environment_kind(),
+            EnvironmentKind::Static
+        );
         assert!(matches!(
             ShockRegime::SteadyDrift.environment_kind(),
             EnvironmentKind::Drift { bits_per_step: 2 }

@@ -12,19 +12,22 @@ fn bench_agents(c: &mut Criterion) {
     group.sample_size(20);
     let allocations = [
         ("uniform", BudgetAllocation::uniform()),
-        ("pure_redundancy", BudgetAllocation::pure(Strategy::Redundancy)),
-        ("pure_adaptability", BudgetAllocation::pure(Strategy::Adaptability)),
+        (
+            "pure_redundancy",
+            BudgetAllocation::pure(Strategy::Redundancy),
+        ),
+        (
+            "pure_adaptability",
+            BudgetAllocation::pure(Strategy::Adaptability),
+        ),
     ];
     for (name, alloc) in allocations {
         group.bench_function(format!("run_100_steps/{name}"), |b| {
             let params = BudgetedParams::from_allocation(&alloc);
             b.iter(|| {
                 let mut rng = seeded_rng(5);
-                let env = Environment::random(
-                    32,
-                    EnvironmentKind::Drift { bits_per_step: 2 },
-                    &mut rng,
-                );
+                let env =
+                    Environment::random(32, EnvironmentKind::Drift { bits_per_step: 2 }, &mut rng);
                 let mut sim = Simulation::new(SimConfig::default(), params, env, &mut rng);
                 sim.run(100, &mut rng)
             })

@@ -22,10 +22,7 @@ fn bench_belief(c: &mut Criterion) {
     group.bench_function("conservative_repair", |b| {
         let env = AtLeastOnes::new(n, n - 2);
         b.iter(|| {
-            let mut belief = BeliefState::new(vec![
-                Config::zeros(n),
-                Config::from_u64(1, n),
-            ]);
+            let mut belief = BeliefState::new(vec![Config::zeros(n), Config::from_u64(1, n)]);
             belief.conservative_repair(&env, n)
         })
     });

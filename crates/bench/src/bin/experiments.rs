@@ -1,4 +1,4 @@
-//! Regenerate the paper-reproduction tables (E1–E16).
+//! Regenerate the paper-reproduction tables (E1–E22).
 //!
 //! Usage:
 //!
@@ -7,14 +7,23 @@
 //! experiments e4 e15          # selected experiments
 //! experiments --seed 7 e12    # override the master seed
 //! experiments --json e1       # machine-readable output
+//! experiments --threads 4     # parallel Monte Carlo (same tables!)
 //! ```
+//!
+//! The thread budget can also be set with `RESILIENCE_THREADS`; the
+//! `--threads` flag wins when both are given. Tables are a pure function
+//! of the seed — any thread count produces bit-identical output, only
+//! the wall-time (reported on stderr) changes.
 
 use resilience_bench::experiments::registry;
+use resilience_core::RunContext;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 42u64;
     let mut json = false;
+    let mut threads = env_threads();
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -25,9 +34,18 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs an integer"));
+                if threads == 0 {
+                    die("--threads must be at least 1");
+                }
+            }
             "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--seed N] [--json] [e1 e2 ... e22]");
+                eprintln!("usage: experiments [--seed N] [--threads N] [--json] [e1 e2 ... e22]");
                 return;
             }
             other => wanted.push(other.to_ascii_lowercase()),
@@ -48,7 +66,22 @@ fn main() {
     };
     for (id, runner) in selected {
         eprintln!("running {id}…");
-        let table = runner(seed);
+        let ctx = RunContext::with_threads(seed, threads);
+        let start = Instant::now();
+        let mut table = runner(&ctx);
+        let perf = resilience_bench::PerfSummary {
+            wall_secs: start.elapsed().as_secs_f64(),
+            threads,
+            trials: ctx.trials_run(),
+        };
+        table.perf = Some(perf);
+        match perf.trials_per_sec() {
+            Some(rate) => eprintln!(
+                "{id}: {:.3}s on {threads} thread(s), {} trials ({:.0} trials/s)",
+                perf.wall_secs, perf.trials, rate
+            ),
+            None => eprintln!("{id}: {:.3}s on {threads} thread(s)", perf.wall_secs),
+        }
         if json {
             println!(
                 "{}",
@@ -57,6 +90,19 @@ fn main() {
         } else {
             println!("{}", table.to_markdown());
         }
+    }
+}
+
+/// Thread budget from `RESILIENCE_THREADS` (default 1; rejects 0).
+fn env_threads() -> usize {
+    match std::env::var("RESILIENCE_THREADS") {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => die(&format!(
+                "RESILIENCE_THREADS must be a positive integer, got `{raw}`"
+            )),
+        },
+        Err(_) => 1,
     }
 }
 

@@ -4,9 +4,10 @@ use resilience_core::bruneau::{analyze_triangle, discrete_triangle_loss};
 use resilience_core::{resilience_loss, QualityTrajectory};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E1. Deterministic; `_seed` is unused.
-pub fn run(_seed: u64) -> ExperimentTable {
+pub fn run(_ctx: &RunContext) -> ExperimentTable {
     // Sweep the two dimensions Bruneau names: robustness (drop size) and
     // rapidity (recovery time).
     let mut rows = Vec::new();
@@ -46,6 +47,7 @@ pub fn run(_seed: u64) -> ExperimentTable {
         && losses[1] < losses[3]
         && losses[3] < losses[5];
     ExperimentTable {
+        perf: None,
         id: "E1".into(),
         title: "Bruneau resilience triangle".into(),
         claim: "Fig. 3 / §4.1: R = ∫[100 − Q(t)]dt; smaller triangle = more \
@@ -71,9 +73,10 @@ pub fn run(_seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn runs_and_orders() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         assert_eq!(t.rows.len(), 6);
         assert!(t.finding.contains("ordering holds: true"));
         // measured == analytic on each row

@@ -1,13 +1,14 @@
 //! E2 — spacecraft k-recoverability (paper §4.2 worked example).
 
 use resilience_core::{AllOnes, Config};
-use resilience_dcsp::repair::GreedyRepair;
 use resilience_dcsp::recoverability::is_k_recoverable_exhaustive;
+use resilience_dcsp::repair::GreedyRepair;
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E2. Deterministic (exhaustive); `_seed` is unused.
-pub fn run(_seed: u64) -> ExperimentTable {
+pub fn run(_ctx: &RunContext) -> ExperimentTable {
     let mut rows = Vec::new();
     let mut all_match = true;
     for &(n, damage, k) in &[
@@ -36,6 +37,7 @@ pub fn run(_seed: u64) -> ExperimentTable {
         ]);
     }
     ExperimentTable {
+        perf: None,
         id: "E2".into(),
         title: "Spacecraft k-recoverability".into(),
         claim: "§4.2: with one repair per step and debris damaging at most k \
@@ -61,9 +63,10 @@ pub fn run(_seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn theory_matches_measurement() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         assert!(t.finding.contains("(true)"));
         for row in &t.rows {
             assert_eq!(row[5], row[6], "row {row:?}");

@@ -1,14 +1,13 @@
 //! E3 — K-maintainability policy construction (paper §4.3).
 
-use std::time::Instant;
-
 use resilience_core::AtLeastOnes;
 use resilience_dcsp::maintainability::TransitionSystem;
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E3. Deterministic; `_seed` is unused.
-pub fn run(_seed: u64) -> ExperimentTable {
+pub fn run(_ctx: &RunContext) -> ExperimentTable {
     let mut rows = Vec::new();
     let mut polynomial_scaling = true;
     let mut prev_per_state: Option<f64> = None;
@@ -16,16 +15,17 @@ pub fn run(_seed: u64) -> ExperimentTable {
         let need = n - n / 3;
         let env = AtLeastOnes::new(n, need);
         let ts = TransitionSystem::from_bit_dcsp(n, &env, 2);
-        let t0 = Instant::now();
         let report = ts.analyze();
-        let elapsed = t0.elapsed().as_secs_f64();
         let adversarial = ts.analyze_adversarial();
         let states = 1usize << n;
-        let per_state = elapsed / states as f64;
+        // Work done by the backward BFS = controllable edges traversed.
+        // Deterministic (unlike wall time, which the determinism contract
+        // forbids inside table content — wall time lives in `perf`).
+        let edges: usize = (0..states).map(|s| ts.controllable_moves(s).len()).sum();
+        let per_state = edges as f64 / states as f64;
         if let Some(prev) = prev_per_state {
             // Per-state cost should stay within a small constant factor —
-            // the polynomial-time claim (here effectively linear in edges,
-            // i.e. O(n) per state). Allow generous slack for timer noise.
+            // the polynomial-time claim (here O(n) edges per state).
             if per_state > prev * 16.0 {
                 polynomial_scaling = false;
             }
@@ -37,10 +37,11 @@ pub fn run(_seed: u64) -> ExperimentTable {
             format!("{:?}", report.min_k()),
             format!("{:?}", adversarial.min_k()),
             format!("{}", report.hopeless_states().len()),
-            format!("{:.2}µs", elapsed * 1e6),
+            format!("{edges} edges"),
         ]);
     }
     ExperimentTable {
+        perf: None,
         id: "E3".into(),
         title: "K-maintainability policy construction".into(),
         claim: "§4.3 (after Baral & Eiter): a polynomial-time algorithm \
@@ -53,13 +54,13 @@ pub fn run(_seed: u64) -> ExperimentTable {
             "min k (quiet env)".into(),
             "min k (adversarial env)".into(),
             "hopeless states".into(),
-            "construction time".into(),
+            "construction work".into(),
         ],
         rows,
         finding: format!(
             "backward-BFS policy construction succeeds on every instance with \
              zero hopeless states; min k equals the deepest repair distance; \
-             per-state cost stays near-constant as the space grows 256× \
+             per-state edge count stays near-linear as the space grows 256× \
              (polynomial scaling: {polynomial_scaling}); the adversarial \
              variant reports None as expected — an environment allowed a \
              2-bit counter-move after every 1-bit repair can keep the system \
@@ -71,9 +72,10 @@ pub fn run(_seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn runs() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         assert_eq!(t.rows.len(), 5);
         // No hopeless states in any row.
         for row in &t.rows {

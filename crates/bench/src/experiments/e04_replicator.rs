@@ -7,9 +7,10 @@ use resilience_ecology::fitness::{DensityDependent, LinearFitness};
 use resilience_ecology::replicator::ReplicatorSim;
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E4. Deterministic; `_seed` is unused.
-pub fn run(_seed: u64) -> ExperimentTable {
+pub fn run(_ctx: &RunContext) -> ExperimentTable {
     let n = 8;
     let mut rows = Vec::new();
 
@@ -62,6 +63,7 @@ pub fn run(_seed: u64) -> ExperimentTable {
     ]);
 
     ExperimentTable {
+        perf: None,
         id: "E4".into(),
         title: "Diversity index under replicator dynamics".into(),
         claim: "§3.2.4: G is maximal (=N) for equal species and minimal for a \
@@ -86,9 +88,10 @@ pub fn run(_seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn collapse_vs_retention() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         assert_eq!(t.rows.len(), 4);
         assert!(t.rows[0][1].contains("8.00"));
         assert!(t.rows[1][1].contains("1.00"));

@@ -5,9 +5,11 @@ use resilience_ecology::fitness::ConcaveFitness;
 use resilience_ecology::weak_selection::{concave_accumulation, AlleleDynamics, SelectionRegime};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E5.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let landscape = ConcaveFitness::new(0.3);
     let population = 200;
     let mut rows = Vec::new();
@@ -45,6 +47,7 @@ pub fn run(seed: u64) -> ExperimentTable {
     ]);
 
     ExperimentTable {
+        perf: None,
         id: "E5".into(),
         title: "Concave fitness ⇒ weak selection ⇒ near-neutral fixations".into(),
         claim: "Fig. 2 / §3.2.4 (Akashi, Ohta, Kimura): with a concave \
@@ -71,9 +74,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn deleterious_fixations_present() {
-        let t = super::run(7);
+        let t = super::run(&RunContext::new(7));
         assert_eq!(t.rows.len(), 5);
         // First regime strong-ish, last advantage row effectively neutral.
         assert!(t.rows[3][2].contains("Neutral") || t.rows[3][2].contains("NearlyNeutral"));

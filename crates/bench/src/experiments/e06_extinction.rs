@@ -4,9 +4,11 @@ use resilience_core::seeded_rng;
 use resilience_ecology::extinction::{Community, ExtinctionExperiment};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E6.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let mut rng = seeded_rng(seed.wrapping_add(6));
     let experiment = ExtinctionExperiment {
         initial_optimum: 0.0,
@@ -33,6 +35,7 @@ pub fn run(seed: u64) -> ExperimentTable {
     }
     let monotone = survival_by_richness.windows(2).all(|w| w[1] >= w[0] - 0.02);
     ExperimentTable {
+        perf: None,
         id: "E6".into(),
         title: "Mass extinction: diversity vs. monoculture".into(),
         claim: "§3.2.1: biological systems as a whole survived events like \
@@ -61,9 +64,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn diversity_helps() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         let first: f64 = t.rows[0][2].parse().unwrap();
         let last: f64 = t.rows.last().unwrap()[2].parse().unwrap();
         assert!(last > first + 0.3);

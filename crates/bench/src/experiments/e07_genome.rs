@@ -5,9 +5,11 @@ use resilience_ecology::dormant::DormantTraitModel;
 use resilience_ecology::genome::RedundantGenome;
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E7.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let mut rng = seeded_rng(seed.wrapping_add(7));
     let mut rows = Vec::new();
 
@@ -49,6 +51,7 @@ pub fn run(seed: u64) -> ExperimentTable {
     ]);
 
     ExperimentTable {
+        perf: None,
         id: "E7".into(),
         title: "Redundancy in biological systems".into(),
         claim: "§3.1.1: ~4,000 of E. coli's 4,300 genes are redundant \
@@ -76,9 +79,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn e_coli_number_reproduced() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         assert!(t.rows[0][1].contains("0.930"));
         assert!(t.rows.last().unwrap()[2].contains("Some"));
     }

@@ -8,16 +8,20 @@ use resilience_engineering::storage::StorageArray;
 use resilience_engineering::supply_chain::SupplyChain;
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
-/// Run E8.
-pub fn run(seed: u64) -> ExperimentTable {
+/// Run E8. Monte Carlo batches run on the context's thread budget; each
+/// batch gets its own derived stream so the table only depends on the
+/// master seed.
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let mut rng = seeded_rng(seed.wrapping_add(8));
     let mut rows = Vec::new();
 
     // (a) RAID parity ladder.
     for parity in 0..=3usize {
         let array = StorageArray::new(8, parity, 0.002, 2);
-        let out = array.run_trials(300, 500, &mut rng);
+        let out = array.run_trials_par(300, 500, ctx.derive(800 + parity as u64), ctx);
         rows.push(vec![
             format!("storage: 8 data + {parity} parity"),
             format!("survival {:.3}", out.survival_probability()),
@@ -25,7 +29,8 @@ pub fn run(seed: u64) -> ExperimentTable {
         ]);
     }
 
-    // (b) Grid reserve margin vs a 1/3 capacity loss.
+    // (b) Grid reserve margin vs a 1/3 capacity loss (one sequential
+    // trajectory per margin; stays serial).
     let loss = 1.0 / 3.0;
     for &margin in &[0.1, 0.3, PowerGrid::required_margin(loss) + 0.02] {
         let grid = PowerGrid::new(100.0, margin, 0.2);
@@ -38,9 +43,9 @@ pub fn run(seed: u64) -> ExperimentTable {
     }
 
     // (c) Supply-chain monetary reserve.
-    for &reserve in &[0.0, 30.0, 100.0] {
+    for (i, &reserve) in [0.0, 30.0, 100.0].iter().enumerate() {
         let firm = SupplyChain::new(10.0, 5.0, reserve);
-        let out = firm.run_trials(10.0, 2_000, &mut rng);
+        let out = firm.run_trials_par(10.0, 2_000, ctx.derive(810 + i as u64), ctx);
         rows.push(vec![
             format!("supply chain: reserve {reserve:.0}"),
             format!("survival {:.3}", out.survival_probability()),
@@ -51,11 +56,15 @@ pub fn run(seed: u64) -> ExperimentTable {
     // (d) Interoperability as redundancy.
     for interoperable in [false, true] {
         let m = InteropModel::new(3, 0.2, interoperable, 3);
-        let out = m.run(50_000, &mut rng);
+        let out = m.run_par(50_000, ctx.derive(820 + u64::from(interoperable)), ctx);
         rows.push(vec![
             format!(
                 "9/11 agencies: {}",
-                if interoperable { "interoperable" } else { "siloed" }
+                if interoperable {
+                    "interoperable"
+                } else {
+                    "siloed"
+                }
             ),
             format!("mission availability {:.3}", out.availability()),
             format!("analytic {:.3}", m.analytic_availability()),
@@ -63,6 +72,7 @@ pub fn run(seed: u64) -> ExperimentTable {
     }
 
     ExperimentTable {
+        perf: None,
         id: "E8".into(),
         title: "Redundancy across engineering and management systems".into(),
         claim: "§3.1.2–3.1.3: RAID survives disk failures; Japan's grid rode \
@@ -82,12 +92,18 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn ladders_are_monotone() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         // Storage survival column monotone over the first 4 rows.
         let s: Vec<f64> = (0..4)
-            .map(|i| t.rows[i][1].trim_start_matches("survival ").parse().unwrap())
+            .map(|i| {
+                t.rows[i][1]
+                    .trim_start_matches("survival ")
+                    .parse()
+                    .unwrap()
+            })
             .collect();
         assert!(s.windows(2).all(|w| w[1] >= w[0]));
         // Interop beats silo.

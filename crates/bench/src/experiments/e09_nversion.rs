@@ -4,9 +4,11 @@ use resilience_core::seeded_rng;
 use resilience_engineering::nversion::{DesignStrategy, NVersionController};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E9.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let mut rng = seeded_rng(seed.wrapping_add(9));
     let flaw = 0.01;
     let hw = 0.01;
@@ -33,6 +35,7 @@ pub fn run(seed: u64) -> ExperimentTable {
     let identical_gain = measured[1] / measured[0];
     let diversity_gain = measured[1] / measured[2].max(1e-9);
     ExperimentTable {
+        perf: None,
         id: "E9".into(),
         title: "N-version design diversity (Boeing 777)".into(),
         claim: "§3.2.2: if the three computers share one design, a design \
@@ -57,9 +60,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn diversity_wins() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         let identical: f64 = t.rows[1][2].parse().unwrap();
         let diverse: f64 = t.rows[2][2].parse().unwrap();
         assert!(diverse < 0.3 * identical);

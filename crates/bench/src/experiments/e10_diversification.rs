@@ -6,17 +6,19 @@ use resilience_engineering::portfolio::Portfolio;
 use resilience_networks::forest_fire::{ForestFire, ForestPolicy};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E10.
-pub fn run(seed: u64) -> ExperimentTable {
-    let mut rng = seeded_rng(seed.wrapping_add(10));
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let mut rows = Vec::new();
 
-    // (a) Investment diversification.
+    // (a) Investment diversification (parallel Monte Carlo, one derived
+    // stream per portfolio).
     let periods = 30;
     let trials = 4_000;
     let conc = Portfolio::concentrated(0.08, 0.15, 0.01);
-    let conc_out = conc.run_trials(periods, trials, &mut rng);
+    let conc_out = conc.run_trials_par(periods, trials, ctx.derive(1000), ctx);
     rows.push(vec![
         "portfolio: all-in best stock".into(),
         format!("E[r] {:.3}", conc.expected_return()),
@@ -25,7 +27,7 @@ pub fn run(seed: u64) -> ExperimentTable {
     ]);
     for &n in &[5usize, 10, 20] {
         let div = Portfolio::diversified(n, 0.08, 0.002, 0.15, 0.01);
-        let out = div.run_trials(periods, trials, &mut rng);
+        let out = div.run_trials_par(periods, trials, ctx.derive(1001 + n as u64), ctx);
         rows.push(vec![
             format!("portfolio: {n} assets"),
             format!("E[r] {:.3}", div.expected_return()),
@@ -62,6 +64,7 @@ pub fn run(seed: u64) -> ExperimentTable {
     ]);
 
     ExperimentTable {
+        perf: None,
         id: "E10".into(),
         title: "Diversification: portfolios and forest age structure".into(),
         claim: "§3.2.3: diversifying investments trades a slightly lower \
@@ -93,14 +96,27 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn both_tradeoffs_hold() {
-        let t = super::run(0);
-        let conc_ruin: f64 = t.rows[0][2].trim_start_matches("ruin prob ").parse().unwrap();
-        let div_ruin: f64 = t.rows[2][2].trim_start_matches("ruin prob ").parse().unwrap();
+        let t = super::run(&RunContext::new(0));
+        let conc_ruin: f64 = t.rows[0][2]
+            .trim_start_matches("ruin prob ")
+            .parse()
+            .unwrap();
+        let div_ruin: f64 = t.rows[2][2]
+            .trim_start_matches("ruin prob ")
+            .parse()
+            .unwrap();
         assert!(div_ruin < 0.3 * conc_ruin);
-        let nat_max: usize = t.rows[4][2].trim_start_matches("max fire ").parse().unwrap();
-        let man_max: usize = t.rows[5][2].trim_start_matches("max fire ").parse().unwrap();
+        let nat_max: usize = t.rows[4][2]
+            .trim_start_matches("max fire ")
+            .parse()
+            .unwrap();
+        let man_max: usize = t.rows[5][2]
+            .trim_start_matches("max fire ")
+            .parse()
+            .unwrap();
         assert!(man_max > nat_max);
     }
 }

@@ -4,9 +4,11 @@ use resilience_core::seeded_rng;
 use resilience_engineering::mape::MapeLoop;
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E11.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let mut rng = seeded_rng(seed.wrapping_add(11));
     let drift = 3;
     let steps = 3_000;
@@ -38,6 +40,7 @@ pub fn run(seed: u64) -> ExperimentTable {
         "-".into(),
     ]);
     ExperimentTable {
+        perf: None,
         id: "E11".into(),
         title: "Adaptability: MAPE loop vs. environmental drift".into(),
         claim: "§3.3: adaptability is the relative speed of adaptation \
@@ -65,9 +68,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn faster_is_better() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         let slow: f64 = t.rows[0][2].parse().unwrap();
         let fast: f64 = t.rows[4][2].parse().unwrap();
         assert!(fast < 0.3 * slow);

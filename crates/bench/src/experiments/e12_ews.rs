@@ -5,9 +5,11 @@ use resilience_stats::bistable::{BistableProcess, CRITICAL_FORCING};
 use resilience_stats::ews::{early_warning_signals, EwsConfig};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E12.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let mut rng = seeded_rng(seed.wrapping_add(12));
     let process = BistableProcess {
         sigma: 0.04,
@@ -28,8 +30,7 @@ pub fn run(seed: u64) -> ExperimentTable {
             process.simulate_ramp(steps, -0.25, ramp_to, &mut rng)
         };
         let analyze_to = run.tipping_index.unwrap_or(run.series.len());
-        let report = early_warning_signals(&run.series, analyze_to, &config)
-            .expect("long enough");
+        let report = early_warning_signals(&run.series, analyze_to, &config).expect("long enough");
         if ramp_to > 0.0 {
             tip_trends = (report.variance_trend, report.autocorrelation_trend);
         } else {
@@ -47,6 +48,7 @@ pub fn run(seed: u64) -> ExperimentTable {
         ]);
     }
     ExperimentTable {
+        perf: None,
         id: "E12".into(),
         title: "Early-warning signals (critical slowing down)".into(),
         claim: "§3.4.1 (Scheffer et al.): for dynamical systems approaching a \
@@ -73,9 +75,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn warning_fires_only_before_tip() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         assert_eq!(t.rows[0][4], "true");
         assert_eq!(t.rows[1][4], "false");
     }

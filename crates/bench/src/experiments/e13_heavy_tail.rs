@@ -9,9 +9,11 @@ use resilience_stats::distributions::{Gaussian, Pareto, Sampler};
 use resilience_stats::heavy_tail::{InsuranceExperiment, MeanStability};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E13.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let mut rng = seeded_rng(seed.wrapping_add(13));
     let mut rows = Vec::new();
 
@@ -39,11 +41,19 @@ pub fn run(seed: u64) -> ExperimentTable {
         ]);
     }
 
-    // (b) The insurance experiment.
+    // (b) The insurance experiment (parallel: one derived stream per
+    // insurer lifetime).
     let exp = InsuranceExperiment::conventional(200, 2_000);
-    let g_ruin = exp.run(&gauss, 300, &mut rng).ruin_probability();
+    let g_ruin = exp
+        .run_par(&gauss, 300, ctx.derive(1300), ctx)
+        .ruin_probability();
     let p_ruin = exp
-        .run(&Pareto::new(1.0, 1.3).expect("valid"), 300, &mut rng)
+        .run_par(
+            &Pareto::new(1.0, 1.3).expect("valid"),
+            300,
+            ctx.derive(1301),
+            ctx,
+        )
         .ruin_probability();
     rows.push(vec![
         "insurer vs Gaussian losses".into(),
@@ -58,10 +68,11 @@ pub fn run(seed: u64) -> ExperimentTable {
         "same pricing rule".into(),
     ]);
 
-    // (c) Mode switching under X-events with aftershock clustering.
-    let (never_ruin, never_wealth) = mode_switch_sim(&NeverSwitch, 400, &mut rng);
+    // (c) Mode switching under X-events with aftershock clustering
+    // (parallel: one derived stream per wealth trajectory).
+    let (never_ruin, never_wealth) = mode_switch_sim(&NeverSwitch, 400, ctx.derive(1302), ctx);
     let policy = ThresholdPolicy::new(8.0, 1.0);
-    let (switch_ruin, switch_wealth) = mode_switch_sim(&policy, 400, &mut rng);
+    let (switch_ruin, switch_wealth) = mode_switch_sim(&policy, 400, ctx.derive(1303), ctx);
     rows.push(vec![
         "never switch modes".into(),
         format!("ruin prob {never_ruin:.3}"),
@@ -76,6 +87,7 @@ pub fn run(seed: u64) -> ExperimentTable {
     ]);
 
     ExperimentTable {
+        perf: None,
         id: "E13".into(),
         title: "Heavy tails, insurance failure, and mode switching".into(),
         claim: "§3.4.6 (Taleb/Takeuchi): power-law losses may lack a finite \
@@ -105,47 +117,49 @@ pub fn run(seed: u64) -> ExperimentTable {
 /// earns 2.0/step with full loss exposure; in Emergency mode it earns
 /// 0.5/step with 25% exposure (hunkered down). X-events start aftershock
 /// windows during which large losses cluster.
-fn mode_switch_sim<P: SwitchPolicy, R: Rng>(
+fn mode_switch_sim<P: SwitchPolicy + Sync>(
     policy: &P,
     trials: usize,
-    rng: &mut R,
+    master_seed: u64,
+    ctx: &RunContext,
 ) -> (f64, f64) {
     let pareto = Pareto::new(1.0, 1.3).expect("valid");
-    let mut ruins = 0usize;
-    let mut wealth_sum = 0.0;
-    for _ in 0..trials {
-        let mut wealth = 50.0;
-        let mut controller = ModeController::new(PolicyRef(policy));
-        let mut aftershocks = 0usize;
-        let mut ruined = false;
-        for _ in 0..600 {
-            // New X-event?
-            if rng.gen_bool(0.01) {
-                aftershocks = 25;
+    let (ruins, wealth_sum) = ctx.run_trials(
+        trials as u64,
+        master_seed,
+        |_, rng| {
+            let mut wealth = 50.0;
+            let mut controller = ModeController::new(PolicyRef(policy));
+            let mut aftershocks = 0usize;
+            for _ in 0..600 {
+                // New X-event?
+                if rng.gen_bool(0.01) {
+                    aftershocks = 25;
+                }
+                let raw_loss = if aftershocks > 0 {
+                    aftershocks -= 1;
+                    4.0 * pareto.sample(rng)
+                } else {
+                    0.2 * pareto.sample(rng).min(5.0)
+                };
+                let mode = controller.observe(raw_loss);
+                let (income, exposure) = match mode {
+                    Mode::Normal => (2.0, 1.0),
+                    Mode::Emergency => (0.5, 0.25),
+                };
+                wealth += income - exposure * raw_loss;
+                if wealth < 0.0 {
+                    return None;
+                }
             }
-            let raw_loss = if aftershocks > 0 {
-                aftershocks -= 1;
-                4.0 * pareto.sample(rng)
-            } else {
-                0.2 * pareto.sample(rng).min(5.0)
-            };
-            let mode = controller.observe(raw_loss);
-            let (income, exposure) = match mode {
-                Mode::Normal => (2.0, 1.0),
-                Mode::Emergency => (0.5, 0.25),
-            };
-            wealth += income - exposure * raw_loss;
-            if wealth < 0.0 {
-                ruined = true;
-                break;
-            }
-        }
-        if ruined {
-            ruins += 1;
-        } else {
-            wealth_sum += wealth;
-        }
-    }
+            Some(wealth)
+        },
+        (0usize, 0.0f64),
+        |(ruins, sum), outcome| match outcome {
+            None => (ruins + 1, sum),
+            Some(w) => (ruins, sum + w),
+        },
+    );
     (
         ruins as f64 / trials as f64,
         wealth_sum / (trials - ruins).max(1) as f64,
@@ -163,19 +177,32 @@ impl<P: SwitchPolicy> SwitchPolicy for PolicyRef<'_, P> {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn switching_beats_never() {
-        let t = super::run(0);
-        let never: f64 = t.rows[6][1].trim_start_matches("ruin prob ").parse().unwrap();
-        let switch: f64 = t.rows[7][1].trim_start_matches("ruin prob ").parse().unwrap();
+        let t = super::run(&RunContext::new(0));
+        let never: f64 = t.rows[6][1]
+            .trim_start_matches("ruin prob ")
+            .parse()
+            .unwrap();
+        let switch: f64 = t.rows[7][1]
+            .trim_start_matches("ruin prob ")
+            .parse()
+            .unwrap();
         assert!(switch < never, "switch {switch} vs never {never}");
     }
 
     #[test]
     fn insurance_gap() {
-        let t = super::run(0);
-        let g: f64 = t.rows[4][1].trim_start_matches("ruin prob ").parse().unwrap();
-        let p: f64 = t.rows[5][1].trim_start_matches("ruin prob ").parse().unwrap();
+        let t = super::run(&RunContext::new(0));
+        let g: f64 = t.rows[4][1]
+            .trim_start_matches("ruin prob ")
+            .parse()
+            .unwrap();
+        let p: f64 = t.rows[5][1]
+            .trim_start_matches("ruin prob ")
+            .parse()
+            .unwrap();
         assert!(p > g + 0.2);
     }
 }

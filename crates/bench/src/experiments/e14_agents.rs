@@ -1,13 +1,13 @@
 //! E14 — the §4.4 budget-allocation question on the multi-agent testbed.
 
-use resilience_agents::experiment::{
-    ablation_rows, best_allocation, sweep_budgets, ShockRegime,
-};
+use resilience_agents::experiment::{ablation_rows, best_allocation, sweep_budgets, ShockRegime};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E14.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let steps = 300;
     let replicates = 8;
     let mut rows = Vec::new();
@@ -35,6 +35,7 @@ pub fn run(seed: u64) -> ExperimentTable {
     ]);
 
     ExperimentTable {
+        perf: None,
         id: "E14".into(),
         title: "Budget allocation across redundancy/diversity/adaptability".into(),
         claim: "§4.4: resource = redundancy, diversity index = diversity, \
@@ -68,7 +69,7 @@ mod tests {
 
     #[test]
     fn regime_dependence_shows() {
-        let t = run(3);
+        let t = run(&RunContext::new(3));
         // 4 regimes × 4 ablations + 1 optimum row.
         assert_eq!(t.rows.len(), 17);
         // Calm rows all survive.

@@ -5,9 +5,11 @@ use resilience_networks::attack::{attack_sweep, AttackStrategy};
 use resilience_networks::generators::{barabasi_albert, erdos_renyi};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E15.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let mut rng = seeded_rng(seed.wrapping_add(15));
     let n = 3_000;
     let ba = barabasi_albert(n, 2, &mut rng);
@@ -16,7 +18,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
     let mut rows = Vec::new();
     let mut scores = std::collections::HashMap::new();
-    for (name, graph) in [("Barabási–Albert (scale-free)", &ba), ("Erdős–Rényi (random)", &er)] {
+    for (name, graph) in [
+        ("Barabási–Albert (scale-free)", &ba),
+        ("Erdős–Rényi (random)", &er),
+    ] {
         for strategy in [AttackStrategy::Random, AttackStrategy::TargetedByDegree] {
             let curve = attack_sweep(graph, strategy, removals, &mut rng);
             let collapse = curve.collapse_point(0.1);
@@ -32,10 +37,14 @@ pub fn run(seed: u64) -> ExperimentTable {
         }
     }
     let ba_gap = scores[&("Barabási–Albert (scale-free)", AttackStrategy::Random)]
-        - scores[&("Barabási–Albert (scale-free)", AttackStrategy::TargetedByDegree)];
+        - scores[&(
+            "Barabási–Albert (scale-free)",
+            AttackStrategy::TargetedByDegree,
+        )];
     let er_gap = scores[&("Erdős–Rényi (random)", AttackStrategy::Random)]
         - scores[&("Erdős–Rényi (random)", AttackStrategy::TargetedByDegree)];
     ExperimentTable {
+        perf: None,
         id: "E15".into(),
         title: "Scale-free networks: random failure vs. hub attack".into(),
         claim: "§5.1 (Barabási): scale-free networks are extremely robust \
@@ -63,9 +72,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn asymmetry_reproduced() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         assert_eq!(t.rows.len(), 4);
         let ba_random: f64 = t.rows[0][2].parse().unwrap();
         let ba_target: f64 = t.rows[1][2].parse().unwrap();

@@ -6,9 +6,11 @@ use resilience_networks::sandpile::{InterventionPolicy, Sandpile};
 use resilience_stats::tail::loglog_slope;
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E16.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let drops = 25_000;
     let mut rows = Vec::new();
     let mut tails = Vec::new();
@@ -56,6 +58,7 @@ pub fn run(seed: u64) -> ExperimentTable {
         ]);
     }
     ExperimentTable {
+        perf: None,
         id: "E16".into(),
         title: "Sandpile self-organized criticality and interventions".into(),
         claim: "§4.5 (Bak): decentralized systems self-organize to a critical \
@@ -87,9 +90,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn intervention_trims_tail() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         let base: f64 = t.rows[0][3].parse().unwrap();
         let targeted: f64 = t.rows[2][3].parse().unwrap();
         assert!(targeted < base);

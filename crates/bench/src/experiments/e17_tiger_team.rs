@@ -1,11 +1,12 @@
 //! E17 (extension) — testing resilience by tiger team vs. black-box
 //! random testing (paper §5.3).
 
-use resilience_core::{seeded_rng, Config, Constraint};
+use resilience_core::{Config, Constraint};
 use resilience_dcsp::repair::GreedyRepair;
 use resilience_dcsp::tiger_team::{random_testing, TigerTeam};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// A repair landscape with a decoy basin: the real target is `1^n`, but a
 /// single unfit "decoy" configuration (bits 0–2 cleared) has an
@@ -55,7 +56,7 @@ impl Constraint for DecoyLandscape {
 }
 
 /// Run E17.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
     let n = 32;
     let env = DecoyLandscape::new(n);
     let start = Config::ones(n);
@@ -73,25 +74,29 @@ pub fn run(seed: u64) -> ExperimentTable {
         format!("{:?}", adversarial.worst_damage),
     ]);
 
+    // Random-testing replicates are independent: run them through the
+    // parallel runtime, one derived stream per rep.
     let trials = 20;
     let mut rates = Vec::new();
     for multiplier in [1usize, 10] {
-        let mut found = 0;
-        for rep in 0..trials {
-            let mut rng = seeded_rng(seed.wrapping_add(17).wrapping_add(100 * rep));
-            let report = random_testing(
-                &start,
-                &env,
-                &greedy,
-                max_damage,
-                budget,
-                adversarial.evaluations * multiplier,
-                &mut rng,
-            );
-            if report.found_failure {
-                found += 1;
-            }
-        }
+        let found = ctx.run_trials(
+            trials,
+            ctx.derive(1700 + multiplier as u64),
+            |_, rng| {
+                random_testing(
+                    &start,
+                    &env,
+                    &greedy,
+                    max_damage,
+                    budget,
+                    adversarial.evaluations * multiplier,
+                    rng,
+                )
+                .found_failure
+            },
+            0usize,
+            |acc, hit| acc + usize::from(hit),
+        );
         rates.push(found);
         rows.push(vec![
             format!("random testing ({multiplier}× evals)"),
@@ -102,6 +107,7 @@ pub fn run(seed: u64) -> ExperimentTable {
     }
 
     ExperimentTable {
+        perf: None,
         id: "E17".into(),
         title: "Extension: testing resilience — tiger team vs. black box".into(),
         claim: "§5.3: because shocks are rare and unexpected, proving \
@@ -131,9 +137,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn tiger_team_finds_the_trap_deterministically() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         assert!(t.rows[0][2].contains("true"));
         // The trap involves only decoy bits.
         assert!(
@@ -148,7 +155,7 @@ mod tests {
 
     #[test]
     fn random_testing_is_less_reliable_than_the_team() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         // Random testing at the same budget misses in at least some runs.
         let same: usize = t.rows[1][2]
             .trim_start_matches("found in ")

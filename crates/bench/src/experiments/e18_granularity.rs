@@ -5,9 +5,11 @@ use resilience_ecology::extinction::Community;
 use resilience_ecology::granularity::hierarchical_experiment;
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E18.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let mut rng = seeded_rng(seed.wrapping_add(18));
     let trials = 4_000;
     let mut rows = Vec::new();
@@ -29,6 +31,7 @@ pub fn run(seed: u64) -> ExperimentTable {
         ]);
     }
     ExperimentTable {
+        perf: None,
         id: "E18".into(),
         title: "Extension: resilience vs. system granularity".into(),
         claim: "§5.2: the definition of resilience is relative to the \
@@ -54,9 +57,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn ordering_holds_everywhere() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         assert!(t.finding.contains("(true)"));
         for row in &t.rows {
             let ind: f64 = row[1].parse().unwrap();

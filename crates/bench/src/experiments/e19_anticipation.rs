@@ -9,11 +9,12 @@
 //! trend up — trading a little yield for avoiding the collapse.
 
 use resilience_core::modes::{Mode, ModeController, ThresholdPolicy};
-use resilience_core::{derive_seed, seeded_rng, TimeSeries};
+use resilience_core::TimeSeries;
 use resilience_stats::bistable::BistableProcess;
 use resilience_stats::ews::{early_warning_signals, EwsConfig};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 struct PolicyOutcome {
     tips: usize,
@@ -21,7 +22,12 @@ struct PolicyOutcome {
     mean_switches: f64,
 }
 
-fn run_policy(anticipatory: bool, replicates: usize, seed: u64) -> PolicyOutcome {
+fn run_policy(
+    anticipatory: bool,
+    replicates: usize,
+    master_seed: u64,
+    ctx: &RunContext,
+) -> PolicyOutcome {
     let process = BistableProcess {
         sigma: 0.04,
         ..BistableProcess::default()
@@ -34,49 +40,55 @@ fn run_policy(anticipatory: bool, replicates: usize, seed: u64) -> PolicyOutcome
         indicator_window: 2_000,
         stride: 100,
     };
-    let mut tips = 0;
-    let mut peak_sum = 0.0;
-    let mut switch_sum = 0.0;
-    for rep in 0..replicates {
-        let mut rng = seeded_rng(derive_seed(seed, rep as u64));
-        let mut x = process.x0;
-        let mut forcing = -0.25;
-        let mut peak: f64 = forcing;
-        let mut history = TimeSeries::new();
-        let mut controller = ModeController::new(ThresholdPolicy::new(0.5, 0.2));
-        let mut tipped = false;
-        for t in 0..horizon {
-            // Managerial policy.
-            match controller.mode() {
-                Mode::Normal => forcing += ramp,
-                Mode::Emergency => forcing = (forcing - relief).max(-0.25),
-            }
-            x = process.step(x, forcing, &mut rng);
-            history.push(x);
-            peak = peak.max(forcing);
-            if x > 0.5 {
-                tipped = true;
-                break;
-            }
-            // Anticipation: periodically read the warning indicators over
-            // the recent past (a sliding 15k-sample horizon — trends over
-            // the whole history dilute the late acceleration).
-            if anticipatory && t % 500 == 499 && history.len() > 6_000 {
-                let from = history.len().saturating_sub(15_000);
-                let recent = TimeSeries::from_values(history.values()[from..].to_vec());
-                if let Some(report) = early_warning_signals(&recent, recent.len(), &ews_config)
-                {
-                    let signal = report.variance_trend.max(report.autocorrelation_trend);
-                    controller.observe(signal.max(0.0));
+    // Replicates are independent managed trajectories — run them on the
+    // context's thread budget, one derived stream each.
+    let (tips, peak_sum, switch_sum) = ctx.run_trials(
+        replicates as u64,
+        master_seed,
+        |_, rng| {
+            let mut x = process.x0;
+            let mut forcing = -0.25;
+            let mut peak: f64 = forcing;
+            let mut history = TimeSeries::new();
+            let mut controller = ModeController::new(ThresholdPolicy::new(0.5, 0.2));
+            let mut tipped = false;
+            for t in 0..horizon {
+                // Managerial policy.
+                match controller.mode() {
+                    Mode::Normal => forcing += ramp,
+                    Mode::Emergency => forcing = (forcing - relief).max(-0.25),
+                }
+                x = process.step(x, forcing, rng);
+                history.push(x);
+                peak = peak.max(forcing);
+                if x > 0.5 {
+                    tipped = true;
+                    break;
+                }
+                // Anticipation: periodically read the warning indicators over
+                // the recent past (a sliding 15k-sample horizon — trends over
+                // the whole history dilute the late acceleration).
+                if anticipatory && t % 500 == 499 && history.len() > 6_000 {
+                    let from = history.len().saturating_sub(15_000);
+                    let recent = TimeSeries::from_values(history.values()[from..].to_vec());
+                    if let Some(report) = early_warning_signals(&recent, recent.len(), &ews_config)
+                    {
+                        let signal = report.variance_trend.max(report.autocorrelation_trend);
+                        controller.observe(signal.max(0.0));
+                    }
                 }
             }
-        }
-        if tipped {
-            tips += 1;
-        }
-        peak_sum += peak;
-        switch_sum += controller.switch_count() as f64;
-    }
+            (tipped, peak, controller.switch_count() as f64)
+        },
+        (0usize, 0.0f64, 0.0f64),
+        |(tips, peaks, switches), (tipped, peak, switch_count)| {
+            (
+                tips + usize::from(tipped),
+                peaks + peak,
+                switches + switch_count,
+            )
+        },
+    );
     PolicyOutcome {
         tips,
         mean_peak_forcing: peak_sum / replicates as f64,
@@ -85,10 +97,10 @@ fn run_policy(anticipatory: bool, replicates: usize, seed: u64) -> PolicyOutcome
 }
 
 /// Run E19.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
     let replicates = 8;
-    let blind = run_policy(false, replicates, seed.wrapping_add(19));
-    let warned = run_policy(true, replicates, seed.wrapping_add(19));
+    let blind = run_policy(false, replicates, ctx.derive(1900), ctx);
+    let warned = run_policy(true, replicates, ctx.derive(1900), ctx);
     let rows = vec![
         vec![
             "blind (keep pushing)".into(),
@@ -104,6 +116,7 @@ pub fn run(seed: u64) -> ExperimentTable {
         ],
     ];
     ExperimentTable {
+        perf: None,
         id: "E19".into(),
         title: "Extension: anticipation driving mode switching".into(),
         claim: "§3.4.1 + §3.4.6: if early-warning signals can anticipate a \
@@ -131,10 +144,11 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     #[ignore = "long-running; exercised by the experiments binary in release"]
     fn anticipation_prevents_most_collapses() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         let blind: usize = t.rows[0][1].split('/').next().unwrap().parse().unwrap();
         let warned: usize = t.rows[1][1].split('/').next().unwrap().parse().unwrap();
         assert!(warned < blind);
@@ -142,7 +156,8 @@ mod tests {
 
     #[test]
     fn single_replicate_smoke() {
-        let blind = super::run_policy(false, 1, 7);
+        let ctx = RunContext::new(7);
+        let blind = super::run_policy(false, 1, ctx.derive(1900), &ctx);
         assert!(blind.mean_peak_forcing > -0.25);
     }
 }

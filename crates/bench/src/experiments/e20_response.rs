@@ -5,9 +5,11 @@ use resilience_core::seeded_rng;
 use resilience_engineering::response::{respond, CommandStructure};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E20.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let mut rng = seeded_rng(seed.wrapping_add(20));
     let central = CommandStructure::Centralized {
         capacity: 2,
@@ -42,6 +44,7 @@ pub fn run(seed: u64) -> ExperimentTable {
         ]);
     }
     ExperimentTable {
+        perf: None,
         id: "E20".into(),
         title: "Extension: emergency response — central command vs. empowerment".into(),
         claim: "§3.4.3 (ISO 22320): in emergencies, empowering the employees \
@@ -68,9 +71,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn empowerment_wins_widespread() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         assert_eq!(t.rows[0][3], "empowered");
         assert_eq!(t.rows[2][3], "centralized");
     }

@@ -4,14 +4,14 @@
 //! to be a good design principle in order to contain a damage from a
 //! failure in a limited area."
 
-use resilience_core::{derive_seed, seeded_rng};
 use resilience_networks::cascade::ThresholdCascade;
 use resilience_networks::generators::planted_partition;
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E21.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
     let n = 600;
     // A localized disaster takes out the first quarter of the system —
     // exactly one module of the 4-block design. Does it escape?
@@ -27,18 +27,22 @@ pub fn run(seed: u64) -> ExperimentTable {
         ("4 modules, light coupling", 4, 0.072, 0.0033), // ≈ same mean degree
         ("12 modules, light coupling", 12, 0.20, 0.0036),
     ];
-    for (label, blocks, p_in, p_out) in architectures {
-        let mut total_failed = 0usize;
-        let mut worst = 0usize;
-        let mut mean_degree = 0.0;
-        for t in 0..trials {
-            let mut rng = seeded_rng(derive_seed(seed.wrapping_add(21), t as u64));
-            let g = planted_partition(n, blocks, p_in, p_out, &mut rng);
-            mean_degree += g.mean_degree();
-            let out = cascade.run(&g, &seeds);
-            total_failed += out.failed;
-            worst = worst.max(out.failed);
-        }
+    for (i, (label, blocks, p_in, p_out)) in architectures.into_iter().enumerate() {
+        // Each trial draws a fresh graph — independent, so run on the
+        // context's thread budget with one derived stream per trial.
+        let (total_failed, worst, mean_degree) = ctx.run_trials(
+            trials,
+            ctx.derive(2100 + i as u64),
+            |_, rng| {
+                let g = planted_partition(n, blocks, p_in, p_out, rng);
+                let out = cascade.run(&g, &seeds);
+                (out.failed, g.mean_degree())
+            },
+            (0usize, 0usize, 0.0f64),
+            |(total, worst, degree), (failed, g_degree)| {
+                (total + failed, worst.max(failed), degree + g_degree)
+            },
+        );
         let mean = total_failed as f64 / trials as f64;
         mean_failures.push(mean);
         rows.push(vec![
@@ -50,6 +54,7 @@ pub fn run(seed: u64) -> ExperimentTable {
         ]);
     }
     ExperimentTable {
+        perf: None,
         id: "E21".into(),
         title: "Extension: modularization contains cascading failures".into(),
         claim: "§4.5: modularizing a large system into smaller independent \
@@ -78,9 +83,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn modularity_contains() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         let mono: f64 = t.rows[0][2].parse().unwrap();
         let modular: f64 = t.rows[2][2].parse().unwrap();
         assert!(

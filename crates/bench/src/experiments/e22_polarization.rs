@@ -5,9 +5,11 @@ use resilience_core::seeded_rng;
 use resilience_ecology::polarization::{gini, top_share, WealthModel};
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
 /// Run E22.
-pub fn run(seed: u64) -> ExperimentTable {
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let seed = ctx.seed;
     let mut rng = seeded_rng(seed.wrapping_add(22));
     let agents = 1_000;
     let rounds = 200;
@@ -34,6 +36,7 @@ pub fn run(seed: u64) -> ExperimentTable {
         ]);
     }
     ExperimentTable {
+        perf: None,
         id: "E22".into(),
         title: "Extension: linear accumulation → polarization → fragility".into(),
         claim: "§3.2.4: natural systems follow the law of diminishing \
@@ -64,9 +67,10 @@ pub fn run(seed: u64) -> ExperimentTable {
 
 #[cfg(test)]
 mod tests {
+    use resilience_core::RunContext;
     #[test]
     fn curvature_orders_inequality() {
-        let t = super::run(0);
+        let t = super::run(&RunContext::new(0));
         let g: Vec<f64> = (0..3).map(|i| t.rows[i][1].parse().unwrap()).collect();
         assert!(g[0] > g[1] && g[1] > g[2], "{g:?}");
     }

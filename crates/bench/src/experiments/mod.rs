@@ -24,9 +24,12 @@ pub mod e21_modularity;
 pub mod e22_polarization;
 
 use crate::table::ExperimentTable;
+use resilience_core::RunContext;
 
-/// An experiment entry point: master seed in, result table out.
-pub type Runner = fn(u64) -> ExperimentTable;
+/// An experiment entry point: run context (master seed + thread budget)
+/// in, result table out. Tables must be a pure function of the seed —
+/// the thread budget only affects wall-clock time.
+pub type Runner = fn(&RunContext) -> ExperimentTable;
 
 /// The registry of all experiments: `(id, runner)`.
 pub fn registry() -> Vec<(&'static str, Runner)> {

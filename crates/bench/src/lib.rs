@@ -1,15 +1,20 @@
 //! Experiment harness for the Systems Resilience reproduction.
 //!
 //! The paper is a position paper with no numbered tables, so every figure
-//! and quantitative claim becomes an experiment (`E1`–`E16`, indexed in
-//! DESIGN.md). Each experiment module exposes `run(seed) ->`
+//! and quantitative claim becomes an experiment (`E1`–`E22`, indexed in
+//! DESIGN.md). Each experiment module exposes `run(&RunContext) ->`
 //! [`ExperimentTable`]; the `experiments` binary renders them as the
 //! Markdown tables recorded in EXPERIMENTS.md:
 //!
 //! ```bash
 //! cargo run --release -p resilience-bench --bin experiments        # all
 //! cargo run --release -p resilience-bench --bin experiments -- e4 e15
+//! cargo run --release -p resilience-bench --bin experiments -- --threads 4
 //! ```
+//!
+//! Tables are a pure function of the master seed: the parallel runtime
+//! (`resilience_core::runtime`) guarantees bit-identical output for any
+//! `--threads` value.
 //!
 //! Criterion benchmarks for the hot kernels live in `benches/`.
 
@@ -19,4 +24,4 @@
 pub mod experiments;
 pub mod table;
 
-pub use table::ExperimentTable;
+pub use table::{ExperimentTable, PerfSummary};

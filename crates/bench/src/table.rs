@@ -2,8 +2,31 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Wall-clock measurement for one experiment run.
+///
+/// Attached by the `experiments` binary after the runner returns; never
+/// part of the scientific result, so it is excluded from serialization
+/// and equality (the determinism contract compares tables across thread
+/// counts and timing always differs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfSummary {
+    /// Wall-clock duration of the run in seconds.
+    pub wall_secs: f64,
+    /// Worker-thread budget the run used.
+    pub threads: usize,
+    /// Monte Carlo trials executed (0 for purely analytic experiments).
+    pub trials: u64,
+}
+
+impl PerfSummary {
+    /// Trials per wall-clock second, or `None` for analytic experiments.
+    pub fn trials_per_sec(&self) -> Option<f64> {
+        (self.trials > 0 && self.wall_secs > 0.0).then(|| self.trials as f64 / self.wall_secs)
+    }
+}
+
 /// One experiment's reproducible result table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentTable {
     /// Experiment id, e.g. "E4".
     pub id: String,
@@ -17,6 +40,22 @@ pub struct ExperimentTable {
     pub rows: Vec<Vec<String>>,
     /// One-sentence verdict comparing measurement to claim.
     pub finding: String,
+    /// Timing attached by the harness; not part of the result.
+    #[serde(skip)]
+    pub perf: Option<PerfSummary>,
+}
+
+// Manual impl so `perf` (wall-clock noise) never participates in the
+// equality the determinism tests rely on.
+impl PartialEq for ExperimentTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.title == other.title
+            && self.claim == other.claim
+            && self.headers == other.headers
+            && self.rows == other.rows
+            && self.finding == other.finding
+    }
 }
 
 impl ExperimentTable {
@@ -51,6 +90,7 @@ mod tests {
             headers: vec!["a".into(), "b".into()],
             rows: vec![vec!["1".into(), "2".into()]],
             finding: "ok".into(),
+            perf: None,
         };
         let md = t.to_markdown();
         assert!(md.contains("## E0 — demo"));

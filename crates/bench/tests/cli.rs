@@ -1,0 +1,101 @@
+//! End-to-end tests of the `experiments` binary's argument handling.
+//!
+//! Cargo exposes the built binary path via `CARGO_BIN_EXE_experiments`,
+//! so these run the real executable exactly as a user would.
+
+use std::process::Command;
+
+fn experiments() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_experiments"));
+    // Isolate from the ambient environment so the env-var tests and the
+    // default-threads assumption hold regardless of the caller's shell.
+    cmd.env_remove("RESILIENCE_THREADS");
+    cmd
+}
+
+#[test]
+fn seed_flag_without_value_exits_2() {
+    let out = experiments().arg("--seed").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--seed"), "stderr: {stderr}");
+}
+
+#[test]
+fn seed_flag_with_garbage_exits_2() {
+    let out = experiments()
+        .args(["--seed", "banana"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_experiment_id_exits_2() {
+    let out = experiments().arg("e99").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment"), "stderr: {stderr}");
+    assert!(stderr.contains("e99"), "stderr: {stderr}");
+}
+
+#[test]
+fn zero_threads_rejected_with_exit_2() {
+    let out = experiments()
+        .args(["--threads", "0", "e20"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--threads"), "stderr: {stderr}");
+}
+
+#[test]
+fn invalid_threads_env_var_exits_2() {
+    let out = experiments()
+        .env("RESILIENCE_THREADS", "0")
+        .arg("e20")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("RESILIENCE_THREADS"), "stderr: {stderr}");
+}
+
+#[test]
+fn threads_flag_overrides_env_var() {
+    // The flag wins even when the env var is garbage-free but different.
+    let out = experiments()
+        .env("RESILIENCE_THREADS", "2")
+        .args(["--threads", "1", "e20"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 thread"), "stderr: {stderr}");
+}
+
+#[test]
+fn json_output_round_trips_and_is_thread_invariant() {
+    let run = |threads: &str| {
+        let out = experiments()
+            .args(["--json", "--threads", threads, "e20"])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(0));
+        String::from_utf8(out.stdout).expect("utf-8 stdout")
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    assert_eq!(serial, parallel, "stdout must not depend on thread count");
+    let value: serde_json::Value = serde_json::from_str(&serial).expect("valid JSON");
+    assert_eq!(value["id"], serde_json::Value::String("E20".into()));
+}
+
+#[test]
+fn help_exits_0() {
+    let out = experiments().arg("--help").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "stderr: {stderr}");
+}

@@ -64,25 +64,139 @@ impl Catalogue {
         use Domain::*;
         use Strategy::*;
         let entries = vec![
-            BokEntry { strategy: Redundancy, domain: Biological, case: "E. coli: ~4,000 of 4,300 genes redundant under knockout", section: "3.1.1", implemented_by: "resilience-ecology::genome" },
-            BokEntry { strategy: Redundancy, domain: Biological, case: "Stickleback armor genotype dormant until predation returns", section: "3.1.1", implemented_by: "resilience-ecology::dormant" },
-            BokEntry { strategy: Redundancy, domain: Engineering, case: "RAID storage survives disk failures", section: "3.1.2", implemented_by: "resilience-engineering::storage" },
-            BokEntry { strategy: Redundancy, domain: Engineering, case: "Japan's grid reserve margin rides out a 33% generation loss", section: "3.1.2", implemented_by: "resilience-engineering::grid" },
-            BokEntry { strategy: Redundancy, domain: Management, case: "Auto makers' monetary reserves bridge the 3.11 revenue outage", section: "3.1.3", implemented_by: "resilience-engineering::supply_chain" },
-            BokEntry { strategy: Redundancy, domain: Management, case: "Interoperability lets one agency's network back up another's", section: "3.1.3", implemented_by: "resilience-engineering::interop" },
-            BokEntry { strategy: Diversity, domain: Biological, case: "Diverse ecosystems survive mass extinctions", section: "3.2.1", implemented_by: "resilience-ecology::extinction" },
-            BokEntry { strategy: Diversity, domain: Engineering, case: "Boeing 777's three independently designed flight computers", section: "3.2.2", implemented_by: "resilience-engineering::nversion" },
-            BokEntry { strategy: Diversity, domain: Management, case: "Let small forest fires burn to keep tree ages diverse", section: "3.2.3", implemented_by: "resilience-networks::forest_fire" },
-            BokEntry { strategy: Diversity, domain: Management, case: "Portfolio diversification trades return for catastrophe risk", section: "3.2.3", implemented_by: "resilience-engineering::portfolio" },
-            BokEntry { strategy: Diversity, domain: Biological, case: "Diversity index + replicator dynamics + diminishing returns", section: "3.2.4", implemented_by: "resilience-ecology::{diversity, replicator, fitness}" },
-            BokEntry { strategy: Adaptability, domain: Biological, case: "Evolution: mutation and selection track the environment", section: "3.3.1", implemented_by: "resilience-ecology::weak_selection" },
-            BokEntry { strategy: Adaptability, domain: Engineering, case: "IBM autonomic computing: the MAPE cycle", section: "3.3.2", implemented_by: "resilience-engineering::mape" },
-            BokEntry { strategy: Adaptability, domain: Social, case: "Co-regulation adapts faster than top-down legislation", section: "3.3.3", implemented_by: "resilience-engineering::regulation" },
-            BokEntry { strategy: Active(Anticipation), domain: Social, case: "Early-warning signals near tipping points (Scheffer)", section: "3.4.1", implemented_by: "resilience-stats::ews" },
-            BokEntry { strategy: Active(Modeling), domain: Social, case: "SPEEDI-style model-based prediction under uncertainty", section: "3.4.2", implemented_by: "resilience-dcsp::belief" },
-            BokEntry { strategy: Active(EmergencyResponse), domain: Social, case: "ISO 22320: empower the first responders", section: "3.4.3", implemented_by: "resilience-engineering::response" },
-            BokEntry { strategy: Active(ConsensusBuilding), domain: Social, case: "Miyagi vs Iwate: stakeholders choose different recoveries", section: "3.4.5", implemented_by: "resilience-core::strategy (taxonomy)" },
-            BokEntry { strategy: Active(ModeSwitching), domain: Social, case: "Normal vs emergency policies for power-law X-events", section: "3.4.6", implemented_by: "resilience-core::modes" },
+            BokEntry {
+                strategy: Redundancy,
+                domain: Biological,
+                case: "E. coli: ~4,000 of 4,300 genes redundant under knockout",
+                section: "3.1.1",
+                implemented_by: "resilience-ecology::genome",
+            },
+            BokEntry {
+                strategy: Redundancy,
+                domain: Biological,
+                case: "Stickleback armor genotype dormant until predation returns",
+                section: "3.1.1",
+                implemented_by: "resilience-ecology::dormant",
+            },
+            BokEntry {
+                strategy: Redundancy,
+                domain: Engineering,
+                case: "RAID storage survives disk failures",
+                section: "3.1.2",
+                implemented_by: "resilience-engineering::storage",
+            },
+            BokEntry {
+                strategy: Redundancy,
+                domain: Engineering,
+                case: "Japan's grid reserve margin rides out a 33% generation loss",
+                section: "3.1.2",
+                implemented_by: "resilience-engineering::grid",
+            },
+            BokEntry {
+                strategy: Redundancy,
+                domain: Management,
+                case: "Auto makers' monetary reserves bridge the 3.11 revenue outage",
+                section: "3.1.3",
+                implemented_by: "resilience-engineering::supply_chain",
+            },
+            BokEntry {
+                strategy: Redundancy,
+                domain: Management,
+                case: "Interoperability lets one agency's network back up another's",
+                section: "3.1.3",
+                implemented_by: "resilience-engineering::interop",
+            },
+            BokEntry {
+                strategy: Diversity,
+                domain: Biological,
+                case: "Diverse ecosystems survive mass extinctions",
+                section: "3.2.1",
+                implemented_by: "resilience-ecology::extinction",
+            },
+            BokEntry {
+                strategy: Diversity,
+                domain: Engineering,
+                case: "Boeing 777's three independently designed flight computers",
+                section: "3.2.2",
+                implemented_by: "resilience-engineering::nversion",
+            },
+            BokEntry {
+                strategy: Diversity,
+                domain: Management,
+                case: "Let small forest fires burn to keep tree ages diverse",
+                section: "3.2.3",
+                implemented_by: "resilience-networks::forest_fire",
+            },
+            BokEntry {
+                strategy: Diversity,
+                domain: Management,
+                case: "Portfolio diversification trades return for catastrophe risk",
+                section: "3.2.3",
+                implemented_by: "resilience-engineering::portfolio",
+            },
+            BokEntry {
+                strategy: Diversity,
+                domain: Biological,
+                case: "Diversity index + replicator dynamics + diminishing returns",
+                section: "3.2.4",
+                implemented_by: "resilience-ecology::{diversity, replicator, fitness}",
+            },
+            BokEntry {
+                strategy: Adaptability,
+                domain: Biological,
+                case: "Evolution: mutation and selection track the environment",
+                section: "3.3.1",
+                implemented_by: "resilience-ecology::weak_selection",
+            },
+            BokEntry {
+                strategy: Adaptability,
+                domain: Engineering,
+                case: "IBM autonomic computing: the MAPE cycle",
+                section: "3.3.2",
+                implemented_by: "resilience-engineering::mape",
+            },
+            BokEntry {
+                strategy: Adaptability,
+                domain: Social,
+                case: "Co-regulation adapts faster than top-down legislation",
+                section: "3.3.3",
+                implemented_by: "resilience-engineering::regulation",
+            },
+            BokEntry {
+                strategy: Active(Anticipation),
+                domain: Social,
+                case: "Early-warning signals near tipping points (Scheffer)",
+                section: "3.4.1",
+                implemented_by: "resilience-stats::ews",
+            },
+            BokEntry {
+                strategy: Active(Modeling),
+                domain: Social,
+                case: "SPEEDI-style model-based prediction under uncertainty",
+                section: "3.4.2",
+                implemented_by: "resilience-dcsp::belief",
+            },
+            BokEntry {
+                strategy: Active(EmergencyResponse),
+                domain: Social,
+                case: "ISO 22320: empower the first responders",
+                section: "3.4.3",
+                implemented_by: "resilience-engineering::response",
+            },
+            BokEntry {
+                strategy: Active(ConsensusBuilding),
+                domain: Social,
+                case: "Miyagi vs Iwate: stakeholders choose different recoveries",
+                section: "3.4.5",
+                implemented_by: "resilience-core::strategy (taxonomy)",
+            },
+            BokEntry {
+                strategy: Active(ModeSwitching),
+                domain: Social,
+                case: "Normal vs emergency policies for power-law X-events",
+                section: "3.4.6",
+                implemented_by: "resilience-core::modes",
+            },
         ];
         Catalogue { entries }
     }
@@ -152,8 +266,7 @@ mod tests {
                 "{strategy:?} needs multiple case studies"
             );
             // Cross-domain evidence is the paper's §2 working hypothesis.
-            let domains: std::collections::HashSet<_> =
-                entries.iter().map(|e| e.domain).collect();
+            let domains: std::collections::HashSet<_> = entries.iter().map(|e| e.domain).collect();
             assert!(domains.len() >= 2, "{strategy:?} spans {domains:?}");
         }
     }
@@ -180,10 +293,7 @@ mod tests {
     #[test]
     fn every_entry_names_an_implementation() {
         for entry in Catalogue::paper().entries() {
-            assert!(
-                entry.implemented_by.contains("resilience-"),
-                "{entry:?}"
-            );
+            assert!(entry.implemented_by.contains("resilience-"), "{entry:?}");
             assert!(entry.section.starts_with('3') || entry.section.starts_with('2'));
         }
     }

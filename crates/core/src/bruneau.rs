@@ -29,7 +29,9 @@ use crate::quality::{QualityTrajectory, FULL_QUALITY};
 pub fn resilience_loss(traj: &QualityTrajectory) -> f64 {
     let s = traj.samples();
     if s.len() < 2 {
-        return s.first().map_or(0.0, |&q| 0.0f64.max(FULL_QUALITY - q) * 0.0);
+        return s
+            .first()
+            .map_or(0.0, |&q| 0.0f64.max(FULL_QUALITY - q) * 0.0);
     }
     let dt = traj.dt();
     let mut area = 0.0;
@@ -106,11 +108,7 @@ pub fn analyze_triangle(
     for w in s[lo..=t1].windows(2) {
         loss += 0.5 * ((FULL_QUALITY - w[0]) + (FULL_QUALITY - w[1])) * dt;
     }
-    let max_drop = FULL_QUALITY
-        - s[t0..=t1]
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+    let max_drop = FULL_QUALITY - s[t0..=t1].iter().copied().fold(f64::INFINITY, f64::min);
     Ok(Some(ResilienceTriangle {
         t0_index: t0,
         t1_index: t1,
@@ -206,7 +204,10 @@ mod tests {
     #[test]
     fn triangle_analysis_validates_inputs() {
         let empty = QualityTrajectory::new(1.0);
-        assert_eq!(analyze_triangle(&empty, 100.0), Err(CoreError::EmptyTrajectory));
+        assert_eq!(
+            analyze_triangle(&empty, 100.0),
+            Err(CoreError::EmptyTrajectory)
+        );
         let t = QualityTrajectory::from_samples(1.0, vec![100.0]);
         assert!(analyze_triangle(&t, 0.0).is_err());
         assert!(analyze_triangle(&t, 101.0).is_err());

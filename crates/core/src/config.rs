@@ -239,7 +239,9 @@ impl Config {
                 right: other.len,
             });
         }
-        Ok((0..self.len).filter(|&i| self.get(i) != other.get(i)).collect())
+        Ok((0..self.len)
+            .filter(|&i| self.get(i) != other.get(i))
+            .collect())
     }
 
     /// Indices of 1-bits.

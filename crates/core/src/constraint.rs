@@ -233,7 +233,10 @@ pub struct PredicateConstraint {
 
 impl PredicateConstraint {
     /// Wrap a predicate with a descriptive name.
-    pub fn new(name: impl Into<String>, pred: impl Fn(&Config) -> bool + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        pred: impl Fn(&Config) -> bool + Send + Sync + 'static,
+    ) -> Self {
         PredicateConstraint {
             pred: Arc::new(pred),
             name: name.into(),
@@ -415,7 +418,8 @@ mod tests {
 
     #[test]
     fn predicate_constraint() {
-        let even_ones = PredicateConstraint::new("even parity", |c: &Config| c.count_ones().is_multiple_of(2));
+        let even_ones =
+            PredicateConstraint::new("even parity", |c: &Config| c.count_ones().is_multiple_of(2));
         assert!(even_ones.is_fit(&"1100".parse().unwrap()));
         assert!(!even_ones.is_fit(&"1000".parse().unwrap()));
         assert_eq!(even_ones.describe(), "even parity");
@@ -424,7 +428,8 @@ mod tests {
     #[test]
     fn and_or_not_combinators() {
         let a: Arc<dyn Constraint> = Arc::new(AtLeastOnes::new(4, 2));
-        let b: Arc<dyn Constraint> = Arc::new(PredicateConstraint::new("bit0", |c: &Config| c.get(0)));
+        let b: Arc<dyn Constraint> =
+            Arc::new(PredicateConstraint::new("bit0", |c: &Config| c.get(0)));
         let both = AndConstraint::new(vec![a.clone(), b.clone()]);
         let either = OrConstraint::new(vec![a.clone(), b.clone()]);
         let neither = NotConstraint::new(Arc::new(OrConstraint::new(vec![a, b])));

@@ -71,7 +71,9 @@ mod tests {
         assert!(err.to_string().contains("9"));
         let err = invalid_param("alpha", "must be positive");
         assert!(err.to_string().contains("alpha"));
-        assert!(CoreError::EmptyTrajectory.to_string().contains("trajectory"));
+        assert!(CoreError::EmptyTrajectory
+            .to_string()
+            .contains("trajectory"));
     }
 
     #[test]

@@ -55,12 +55,13 @@ pub mod error;
 pub mod modes;
 pub mod quality;
 pub mod rng;
+pub mod runtime;
 pub mod series;
 pub mod shock;
 pub mod strategy;
 
 pub use bok::{BokEntry, Catalogue, Domain};
-pub use bruneau::{ResilienceTriangle, resilience_loss};
+pub use bruneau::{resilience_loss, ResilienceTriangle};
 pub use config::Config;
 pub use constraint::{
     AllOnes, AndConstraint, AtLeastOnes, Constraint, ExplicitSet, NotConstraint, OrConstraint,
@@ -70,6 +71,7 @@ pub use error::CoreError;
 pub use modes::{BiasedPerception, Mode, ModeController, SwitchPolicy, ThresholdPolicy};
 pub use quality::QualityTrajectory;
 pub use rng::{derive_seed, seeded_rng};
+pub use runtime::{ParallelTrials, RunContext};
 pub use series::TimeSeries;
 pub use shock::{Shock, ShockKind, ShockSchedule};
 pub use strategy::{BudgetAllocation, Strategy};

@@ -50,7 +50,10 @@ impl ThresholdPolicy {
             enter.is_finite() && exit.is_finite() && enter >= 0.0 && exit >= 0.0,
             "thresholds must be finite and non-negative"
         );
-        assert!(exit <= enter, "exit threshold must not exceed enter threshold");
+        assert!(
+            exit <= enter,
+            "exit threshold must not exceed enter threshold"
+        );
         ThresholdPolicy { enter, exit }
     }
 

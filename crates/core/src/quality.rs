@@ -61,7 +61,11 @@ impl QualityTrajectory {
 
     /// Append a quality sample (clamped to `[0, 100]`; NaN becomes 0).
     pub fn push(&mut self, q: f64) {
-        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, FULL_QUALITY) };
+        let q = if q.is_nan() {
+            0.0
+        } else {
+            q.clamp(0.0, FULL_QUALITY)
+        };
         self.samples.push(q);
     }
 
@@ -122,7 +126,13 @@ impl QualityTrajectory {
     /// # Panics
     ///
     /// Panics if `dt <= 0`.
-    pub fn bruneau_shape(dt: f64, t0: usize, drop: f64, recovery_steps: usize, tail: usize) -> Self {
+    pub fn bruneau_shape(
+        dt: f64,
+        t0: usize,
+        drop: f64,
+        recovery_steps: usize,
+        tail: usize,
+    ) -> Self {
         let mut t = QualityTrajectory::new(dt);
         for _ in 0..t0 {
             t.push(FULL_QUALITY);

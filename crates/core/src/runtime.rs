@@ -1,0 +1,265 @@
+//! Deterministic parallel Monte Carlo runtime.
+//!
+//! Every experiment in the workspace is a pure function of a master seed.
+//! This module keeps that property while fanning trials out across
+//! threads: [`ParallelTrials::run`] seeds trial `i` with
+//! [`derive_seed`]`(master, i)` and folds results **in trial-index
+//! order**, so the reduction is bit-identical no matter how many worker
+//! threads execute the trials — `threads = 1` is simply the serial path
+//! with no thread machinery at all.
+//!
+//! [`RunContext`] carries the master seed and thread budget into each
+//! experiment, counts the trials executed, and is what the `experiments`
+//! binary uses to report wall-time and trials/sec per experiment.
+
+use crate::rng::{derive_seed, seeded_rng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-run inputs shared by every experiment: the master seed and the
+/// worker-thread budget, plus a running count of Monte Carlo trials for
+/// throughput reporting.
+#[derive(Debug)]
+pub struct RunContext {
+    /// Master seed; every random stream in the experiment derives from it.
+    pub seed: u64,
+    threads: usize,
+    trials_run: AtomicU64,
+}
+
+impl RunContext {
+    /// Serial context (one worker thread).
+    pub fn new(seed: u64) -> Self {
+        Self::with_threads(seed, 1)
+    }
+
+    /// Context with an explicit thread budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(seed: u64, threads: usize) -> Self {
+        assert!(threads >= 1, "thread budget must be at least 1");
+        RunContext {
+            seed,
+            threads,
+            trials_run: AtomicU64::new(0),
+        }
+    }
+
+    /// The worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sub-seed for stream `stream` of this run (see [`derive_seed`]).
+    pub fn derive(&self, stream: u64) -> u64 {
+        derive_seed(self.seed, stream)
+    }
+
+    /// Total Monte Carlo trials executed through this context so far.
+    pub fn trials_run(&self) -> u64 {
+        self.trials_run.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` trials executed outside [`RunContext::run_trials`]
+    /// (e.g. a sequential simulation loop that still counts as work).
+    pub fn record_trials(&self, n: u64) {
+        self.trials_run.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Run `n_trials` seeded trials on this context's thread budget and
+    /// fold the results in trial order. See [`ParallelTrials::run`].
+    pub fn run_trials<T, Acc, F, R>(
+        &self,
+        n_trials: u64,
+        master_seed: u64,
+        trial_fn: F,
+        init: Acc,
+        reduce: R,
+    ) -> Acc
+    where
+        T: Send,
+        F: Fn(u64, &mut ChaCha8Rng) -> T + Sync,
+        R: FnMut(Acc, T) -> Acc,
+    {
+        self.record_trials(n_trials);
+        ParallelTrials::new(self.threads).run(n_trials, master_seed, trial_fn, init, reduce)
+    }
+}
+
+/// A work-distributing executor for independent Monte Carlo trials.
+///
+/// Trials are claimed by worker threads one index at a time from a shared
+/// atomic counter (so imbalanced trial costs still load-balance), but the
+/// *output* never depends on the schedule: trial `i` always runs on an rng
+/// seeded with `derive_seed(master_seed, i)`, and the reduction folds
+/// results sorted by trial index.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelTrials {
+    threads: usize,
+}
+
+impl ParallelTrials {
+    /// An executor with the given thread budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "thread budget must be at least 1");
+        ParallelTrials { threads }
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `n_trials` independent trials and fold their results.
+    ///
+    /// `trial_fn(i, rng)` computes trial `i` on an rng seeded with
+    /// `derive_seed(master_seed, i)`; `reduce` folds `init` over the
+    /// results in ascending trial order. The returned accumulator is
+    /// bit-identical for every thread budget.
+    pub fn run<T, Acc, F, R>(
+        &self,
+        n_trials: u64,
+        master_seed: u64,
+        trial_fn: F,
+        init: Acc,
+        mut reduce: R,
+    ) -> Acc
+    where
+        T: Send,
+        F: Fn(u64, &mut ChaCha8Rng) -> T + Sync,
+        R: FnMut(Acc, T) -> Acc,
+    {
+        let workers = self
+            .threads
+            .min(usize::try_from(n_trials).unwrap_or(usize::MAX));
+        if workers <= 1 {
+            let mut acc = init;
+            for idx in 0..n_trials {
+                let mut rng = seeded_rng(derive_seed(master_seed, idx));
+                acc = reduce(acc, trial_fn(idx, &mut rng));
+            }
+            return acc;
+        }
+
+        let next = AtomicU64::new(0);
+        let results: Mutex<Vec<(u64, T)>> =
+            Mutex::new(Vec::with_capacity(usize::try_from(n_trials).unwrap_or(0)));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(u64, T)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n_trials {
+                            break;
+                        }
+                        let mut rng = seeded_rng(derive_seed(master_seed, idx));
+                        local.push((idx, trial_fn(idx, &mut rng)));
+                    }
+                    results
+                        .lock()
+                        .expect("trial result mutex poisoned")
+                        .append(&mut local);
+                });
+            }
+        });
+
+        let mut collected = results.into_inner().expect("trial result mutex poisoned");
+        collected.sort_unstable_by_key(|(idx, _)| *idx);
+        debug_assert_eq!(collected.len() as u64, n_trials);
+        collected
+            .into_iter()
+            .fold(init, |acc, (_, value)| reduce(acc, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn mean_of_trials(threads: usize, n_trials: u64, master: u64) -> Vec<f64> {
+        ParallelTrials::new(threads).run(
+            n_trials,
+            master,
+            |idx, rng| idx as f64 + rng.gen::<f64>(),
+            Vec::new(),
+            |mut acc, x| {
+                acc.push(x);
+                acc
+            },
+        )
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bitwise() {
+        for n_trials in [0u64, 1, 3, 17, 160] {
+            let serial = mean_of_trials(1, n_trials, 42);
+            for threads in [2, 4, 7] {
+                let parallel = mean_of_trials(threads, n_trials, 42);
+                assert_eq!(serial, parallel, "n_trials={n_trials} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_is_in_trial_order() {
+        let order = ParallelTrials::new(4).run(
+            100,
+            7,
+            |idx, _| idx,
+            Vec::new(),
+            |mut acc, idx| {
+                acc.push(idx);
+                acc
+            },
+        );
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trials_use_derived_seeds() {
+        let draws = ParallelTrials::new(3).run(
+            8,
+            99,
+            |_, rng| rng.gen::<u64>(),
+            Vec::new(),
+            |mut acc, x| {
+                acc.push(x);
+                acc
+            },
+        );
+        let expected: Vec<u64> = (0..8)
+            .map(|i| seeded_rng(derive_seed(99, i)).gen::<u64>())
+            .collect();
+        assert_eq!(draws, expected);
+    }
+
+    #[test]
+    fn context_counts_trials() {
+        let ctx = RunContext::with_threads(1, 2);
+        let total: u64 = ctx.run_trials(50, ctx.seed, |_, _| 1u64, 0, |acc, x| acc + x);
+        assert_eq!(total, 50);
+        ctx.record_trials(10);
+        assert_eq!(ctx.trials_run(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_rejected() {
+        let _ = ParallelTrials::new(0);
+    }
+
+    #[test]
+    fn context_derive_matches_free_function() {
+        let ctx = RunContext::new(5);
+        assert_eq!(ctx.derive(11), derive_seed(5, 11));
+    }
+}

@@ -107,7 +107,12 @@ impl TimeSeries {
         if sd == 0.0 {
             return f64::NAN;
         }
-        let m3 = self.values.iter().map(|v| ((v - m) / sd).powi(3)).sum::<f64>() / n as f64;
+        let m3 = self
+            .values
+            .iter()
+            .map(|v| ((v - m) / sd).powi(3))
+            .sum::<f64>()
+            / n as f64;
         m3
     }
 
@@ -189,7 +194,9 @@ mod tests {
 
     #[test]
     fn lag1_autocorrelation_of_alternating_is_negative() {
-        let s: TimeSeries = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let s: TimeSeries = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(s.lag1_autocorrelation() < -0.9);
     }
 
@@ -201,8 +208,12 @@ mod tests {
 
     #[test]
     fn lag1_autocorrelation_degenerate_cases() {
-        assert!(TimeSeries::from_values(vec![1.0]).lag1_autocorrelation().is_nan());
-        assert!(TimeSeries::from_values(vec![3.0; 10]).lag1_autocorrelation().is_nan());
+        assert!(TimeSeries::from_values(vec![1.0])
+            .lag1_autocorrelation()
+            .is_nan());
+        assert!(TimeSeries::from_values(vec![3.0; 10])
+            .lag1_autocorrelation()
+            .is_nan());
     }
 
     #[test]

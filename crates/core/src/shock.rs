@@ -227,8 +227,14 @@ mod tests {
 
     #[test]
     fn worst_case_damage() {
-        assert_eq!(ShockKind::BitDamage { flips: 3 }.worst_case_damage(10), Some(3));
-        assert_eq!(ShockKind::BitDamage { flips: 30 }.worst_case_damage(10), Some(10));
+        assert_eq!(
+            ShockKind::BitDamage { flips: 3 }.worst_case_damage(10),
+            Some(3)
+        );
+        assert_eq!(
+            ShockKind::BitDamage { flips: 30 }.worst_case_damage(10),
+            Some(10)
+        );
         assert_eq!(
             ShockKind::BoundedBitDamage { max_flips: 4 }.worst_case_damage(10),
             Some(4)

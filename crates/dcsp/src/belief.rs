@@ -60,8 +60,7 @@ impl BeliefState {
     /// Incorporate a sensor reading: bit `i` is observed to be `value`.
     /// Possibilities disagreeing with the observation are discarded.
     pub fn observe_bit(&mut self, i: usize, value: bool) {
-        self.possible
-            .retain(|c| i < c.len() && c.get(i) == value);
+        self.possible.retain(|c| i < c.len() && c.get(i) == value);
     }
 
     /// Incorporate a fitness observation: the system is (or is not) fit
@@ -316,16 +315,15 @@ mod tests {
         assert!(ok_c);
         assert_eq!(flips_c.len(), 1);
 
-        let mut uncertain = BeliefState::certain("0111".parse().unwrap())
-            .after_unobserved_damage(1);
+        let mut uncertain =
+            BeliefState::certain("0111".parse().unwrap()).after_unobserved_damage(1);
         let (_, ok_u) = uncertain.conservative_repair(&env, 8);
         // A belief containing configs on both sides of a flip can never be
         // made certainly fit by blind flips alone: flipping maps distinct
         // members to distinct configs. So conservative repair fails.
         assert!(!ok_u);
         // …until observations restore certainty:
-        let mut observed = BeliefState::certain("0111".parse().unwrap())
-            .after_unobserved_damage(1);
+        let mut observed = BeliefState::certain("0111".parse().unwrap()).after_unobserved_damage(1);
         for i in 0..4 {
             let value = i != 0; // true state 0111
             observed.observe_bit(i, value);

@@ -214,10 +214,7 @@ mod tests {
         let target: Config = "1010".parse().unwrap();
         let wm = WeightedMismatch::uniform(target.clone());
         let probe: Config = "0110".parse().unwrap();
-        assert_eq!(
-            wm.cost(&probe),
-            probe.hamming(&target).unwrap() as f64
-        );
+        assert_eq!(wm.cost(&probe), probe.hamming(&target).unwrap() as f64);
     }
 
     #[test]

@@ -242,10 +242,7 @@ mod tests {
 
     #[test]
     fn environment_shift_can_unfit_a_system() {
-        let mut sys = DcspSystem::new(
-            "1100".parse().unwrap(),
-            Arc::new(AtLeastOnes::new(4, 2)),
-        );
+        let mut sys = DcspSystem::new("1100".parse().unwrap(), Arc::new(AtLeastOnes::new(4, 2)));
         assert!(sys.is_fit());
         sys.shift_environment(Arc::new(AtLeastOnes::new(4, 3)));
         assert!(!sys.is_fit());
@@ -261,7 +258,12 @@ mod tests {
         let mut sys = DcspSystem::fit_under(Arc::new(AllOnes::new(8)));
         sys.idle();
         sys.idle();
-        let record = sys.episode(&ShockKind::BitDamage { flips: 2 }, &GreedyRepair::new(), 8, &mut rng);
+        let record = sys.episode(
+            &ShockKind::BitDamage { flips: 2 },
+            &GreedyRepair::new(),
+            8,
+            &mut rng,
+        );
         assert_eq!(record.shock_time, 2);
         assert_eq!(record.shock.magnitude(), 2);
         assert!(record.recovered);

@@ -206,8 +206,7 @@ mod tests {
         let start = Config::ones(n);
         let env = AllOnes::new(n);
         for k in 1..=3 {
-            let report =
-                is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), k, k);
+            let report = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), k, k);
             assert!(report.is_k_recoverable(), "k={k}: {report:?}");
             assert_eq!(report.worst_steps, k);
         }
@@ -262,8 +261,7 @@ mod tests {
             .into_iter()
             .collect();
         let start: Config = "1111".parse().unwrap();
-        let report =
-            is_k_recoverable_exhaustive(&start, &env, &BfsRepair::new(4), 3, 1);
+        let report = is_k_recoverable_exhaustive(&start, &env, &BfsRepair::new(4), 3, 1);
         // Any ≤3 damage is within distance 1 of a fit config? damage 2 →
         // distance 2 from both members. So k=1 must fail for some case.
         assert!(!report.is_k_recoverable());

@@ -176,7 +176,9 @@ impl RepairStrategy for AnnealRepair {
         // Mix state, seed, and the call counter into the per-call RNG.
         let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ self.seed ^ call.rotate_left(17);
         for b in state.iter() {
-            hash = hash.wrapping_mul(0x1000_0000_01b3).wrapping_add(b as u64 + 1);
+            hash = hash
+                .wrapping_mul(0x1000_0000_01b3)
+                .wrapping_add(b as u64 + 1);
         }
         let mut rng = seeded_rng(hash);
         let current = env.violation(state);
@@ -291,7 +293,10 @@ mod tests {
             }
             steps += 1;
         }
-        assert!(env.is_fit(&state), "annealing failed to repair in {steps} steps");
+        assert!(
+            env.is_fit(&state),
+            "annealing failed to repair in {steps} steps"
+        );
     }
 
     #[test]

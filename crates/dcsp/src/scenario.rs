@@ -156,7 +156,9 @@ mod tests {
     fn quiet_scenario_has_no_loss() {
         let mut rng = seeded_rng(801);
         let mut sys = system(8);
-        let report = Scenario::new().idle(20).run(&mut sys, &GreedyRepair::new(), &mut rng);
+        let report = Scenario::new()
+            .idle(20)
+            .run(&mut sys, &GreedyRepair::new(), &mut rng);
         assert_eq!(report.total_loss, 0.0);
         assert!(report.ended_fit);
         assert_eq!(report.flips_spent, 0);
@@ -188,10 +190,7 @@ mod tests {
         let mut rng = seeded_rng(803);
         // Start fit under a lenient constraint, then the world tightens —
         // the paper's C → C' transition.
-        let mut sys = DcspSystem::new(
-            "1100".parse().unwrap(),
-            Arc::new(AtLeastOnes::new(4, 2)),
-        );
+        let mut sys = DcspSystem::new("1100".parse().unwrap(), Arc::new(AtLeastOnes::new(4, 2)));
         let report = Scenario::new()
             .shift_environment(Arc::new(AllOnes::new(4)))
             .repair(4)

@@ -12,9 +12,7 @@
 
 use rand::Rng;
 
-use resilience_core::{
-    resilience_loss, Config, QualityTrajectory, ShockSchedule,
-};
+use resilience_core::{resilience_loss, Config, QualityTrajectory, ShockSchedule};
 
 /// The spacecraft: `n` components, all required good, hit by debris that
 /// damages at most `max_debris_damage` components, repairing one component
@@ -83,7 +81,10 @@ impl Spacecraft {
     /// Panics if `n == 0` or `repairs_per_step == 0`.
     pub fn new(n: usize, max_debris_damage: usize, repairs_per_step: usize) -> Self {
         assert!(n > 0, "a spacecraft needs at least one component");
-        assert!(repairs_per_step > 0, "must repair at least one component per step");
+        assert!(
+            repairs_per_step > 0,
+            "must repair at least one component per step"
+        );
         Spacecraft {
             components: Config::ones(n),
             max_debris_damage,
@@ -255,7 +256,10 @@ mod tests {
             assert_eq!(s.repair_step(), 1);
             steps += 1;
         }
-        assert_eq!(steps, failed, "one repair per step ⇒ k steps for k failures");
+        assert_eq!(
+            steps, failed,
+            "one repair per step ⇒ k steps for k failures"
+        );
     }
 
     #[test]
@@ -269,7 +273,10 @@ mod tests {
             for _ in 0..k {
                 s.repair_step();
             }
-            assert!(s.is_operational(), "trial {trial} failed to recover in k={k}");
+            assert!(
+                s.is_operational(),
+                "trial {trial} failed to recover in k={k}"
+            );
         }
     }
 
@@ -295,7 +302,11 @@ mod tests {
         // failures accumulate: expected damage/step (=2.5) > repair rate.
         let mut s = Spacecraft::new(30, 4, 1);
         let log = s.simulate_mission(100, &ShockSchedule::Periodic { period: 1 }, &mut rng);
-        assert!(log.availability() < 0.3, "availability {}", log.availability());
+        assert!(
+            log.availability() < 0.3,
+            "availability {}",
+            log.availability()
+        );
         assert!(!s.is_operational());
         // Faster repair restores resilience.
         let mut rng = seeded_rng(16);

@@ -247,7 +247,10 @@ mod tests {
         let s5 = c.selection_coefficient(5.0);
         let s50 = c.selection_coefficient(50.0);
         assert!(s0 > s5 && s5 > s50);
-        assert!(s50 < 0.01, "selection nearly neutral at high advantage: {s50}");
+        assert!(
+            s50 < 0.01,
+            "selection nearly neutral at high advantage: {s50}"
+        );
     }
 
     #[test]

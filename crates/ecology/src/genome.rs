@@ -47,7 +47,10 @@ impl RedundantGenome {
     /// Panics if `essential > genes` or `genes == 0`.
     pub fn new(genes: usize, essential: usize) -> Self {
         assert!(genes > 0, "a genome needs at least one gene");
-        assert!(essential <= genes, "essential subset cannot exceed the genome");
+        assert!(
+            essential <= genes,
+            "essential subset cannot exceed the genome"
+        );
         RedundantGenome { genes, essential }
     }
 

@@ -25,7 +25,10 @@ impl MoranProcess {
     /// Panics if `n == 0` or `r ≤ 0`.
     pub fn new(n: usize, r: f64) -> Self {
         assert!(n > 0, "population size must be positive");
-        assert!(r.is_finite() && r > 0.0, "relative fitness must be positive");
+        assert!(
+            r.is_finite() && r > 0.0,
+            "relative fitness must be positive"
+        );
         MoranProcess { n, r }
     }
 

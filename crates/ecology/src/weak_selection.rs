@@ -58,7 +58,10 @@ impl AlleleDynamics {
     /// Panics if `n == 0` or `s ≤ −1` (fitness must stay positive).
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "population size must be positive");
-        assert!(s > -1.0 && s.is_finite(), "selection coefficient must exceed -1");
+        assert!(
+            s > -1.0 && s.is_finite(),
+            "selection coefficient must exceed -1"
+        );
         AlleleDynamics { n, s }
     }
 
@@ -210,10 +213,7 @@ mod tests {
         let d = AlleleDynamics::new(50, 0.02);
         let sim = d.simulate_fixation_probability(4_000, &mut rng);
         let theory = d.fixation_probability();
-        assert!(
-            (sim - theory).abs() < 0.015,
-            "sim {sim} vs theory {theory}"
-        );
+        assert!((sim - theory).abs() < 0.015, "sim {sim} vs theory {theory}");
     }
 
     #[test]
@@ -248,7 +248,11 @@ mod tests {
         let landscape = ConcaveFitness::new(0.3);
         let n = 200;
         let fixed = concave_accumulation(&landscape, n, 60_000, &mut rng);
-        assert!(fixed.len() > 100, "need enough fixations, got {}", fixed.len());
+        assert!(
+            fixed.len() > 100,
+            "need enough fixations, got {}",
+            fixed.len()
+        );
         let del = fixed.iter().filter(|m| m.deleterious).count();
         let frac_del = del as f64 / fixed.len() as f64;
         assert!(

@@ -101,8 +101,8 @@ impl PowerGrid {
             };
             let cycle = 0.5 + 0.5 * ((t as f64) * std::f64::consts::TAU / 24.0).sin();
             let noise: f64 = rng.gen_range(0.0..1.0);
-            let demand = self.demand_peak
-                * (1.0 - self.demand_swing * (0.7 * (1.0 - cycle) + 0.3 * noise));
+            let demand =
+                self.demand_peak * (1.0 - self.demand_swing * (0.7 * (1.0 - cycle) + 0.3 * noise));
             if demand > available {
                 blackout_steps += 1;
                 unserved += demand - available;

@@ -140,8 +140,8 @@ impl NVersionController {
         // P(more than t of n independent unit failures).
         let mut p_majority_lost = 0.0;
         for k in (t + 1)..=n {
-            p_majority_lost += binom(n, k) * unit_fail.powi(k as i32)
-                * (1.0 - unit_fail).powi((n - k) as i32);
+            p_majority_lost +=
+                binom(n, k) * unit_fail.powi(k as i32) * (1.0 - unit_fail).powi((n - k) as i32);
         }
         match self.strategy {
             DesignStrategy::Identical => {
@@ -235,8 +235,7 @@ mod tests {
         let id3 = NVersionController::new(3, DesignStrategy::Identical, flaw, 0.001);
         let id7 = NVersionController::new(7, DesignStrategy::Identical, flaw, 0.001);
         assert!(
-            (id7.analytic_failure_probability() - id3.analytic_failure_probability()).abs()
-                < 1e-3,
+            (id7.analytic_failure_probability() - id3.analytic_failure_probability()).abs() < 1e-3,
             "identical redundancy saturates at the flaw rate"
         );
         // Against independent faults, more diverse units help.

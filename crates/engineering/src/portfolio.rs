@@ -13,6 +13,7 @@
 //! the best asset vs. an equal-weight portfolio.
 
 use rand::Rng;
+use resilience_core::RunContext;
 
 /// A universe of i.i.d.-ish risky assets; asset `0` has the highest drift.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +141,30 @@ impl Portfolio {
             catastrophic_losses: catastrophic,
         }
     }
+
+    /// Run a batch of trials distributed over the context's thread
+    /// budget; trajectory `i` runs on an rng derived from
+    /// `(master_seed, i)`, so the outcome only depends on `master_seed`.
+    pub fn run_trials_par(
+        &self,
+        periods: usize,
+        trials: usize,
+        master_seed: u64,
+        ctx: &RunContext,
+    ) -> PortfolioOutcome {
+        let (wealth_sum, catastrophic) = ctx.run_trials(
+            trials as u64,
+            master_seed,
+            |_, rng| self.simulate(periods, rng),
+            (0.0f64, 0usize),
+            |(sum, cat), w| (sum + w, cat + usize::from(w < 0.1)),
+        );
+        PortfolioOutcome {
+            trials,
+            mean_wealth: wealth_sum / trials.max(1) as f64,
+            catastrophic_losses: catastrophic,
+        }
+    }
 }
 
 fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
@@ -219,5 +244,13 @@ mod tests {
     #[should_panic(expected = "at least one holding")]
     fn rejects_empty_portfolio() {
         let _ = Portfolio::diversified(0, 0.1, 0.0, 0.1, 0.0);
+    }
+
+    #[test]
+    fn parallel_batch_is_thread_count_invariant() {
+        let p = Portfolio::diversified(5, 0.05, 0.002, 0.15, 0.01);
+        let serial = p.run_trials_par(30, 400, 17, &RunContext::new(1));
+        let parallel = p.run_trials_par(30, 400, 17, &RunContext::with_threads(1, 4));
+        assert_eq!(serial, parallel);
     }
 }

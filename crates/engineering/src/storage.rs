@@ -11,6 +11,7 @@
 //! is lost the moment more than `parity` disks are simultaneously down.
 
 use rand::Rng;
+use resilience_core::RunContext;
 
 /// A redundant storage array.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,7 +54,12 @@ impl StorageArray {
     /// # Panics
     ///
     /// Panics if there are no data disks or `fail_rate ∉ [0, 1]`.
-    pub fn new(data_disks: usize, parity_disks: usize, fail_rate: f64, rebuild_steps: usize) -> Self {
+    pub fn new(
+        data_disks: usize,
+        parity_disks: usize,
+        fail_rate: f64,
+        rebuild_steps: usize,
+    ) -> Self {
         assert!(data_disks > 0, "array needs at least one data disk");
         assert!(
             (0.0..=1.0).contains(&fail_rate),
@@ -114,6 +120,36 @@ impl StorageArray {
                 loss_steps += t;
             }
         }
+        StorageOutcome {
+            trials,
+            data_losses: losses,
+            mean_steps_to_loss: (losses > 0).then(|| loss_steps as f64 / losses as f64),
+        }
+    }
+
+    /// Monte-Carlo batch distributed over the context's thread budget.
+    ///
+    /// Trial `i` runs on its own rng derived from `(master_seed, i)`, so
+    /// the outcome is a pure function of `master_seed` no matter how many
+    /// threads execute it (unlike [`StorageArray::run_trials`], which
+    /// threads one rng through every trial).
+    pub fn run_trials_par(
+        &self,
+        horizon: usize,
+        trials: usize,
+        master_seed: u64,
+        ctx: &RunContext,
+    ) -> StorageOutcome {
+        let (losses, loss_steps) = ctx.run_trials(
+            trials as u64,
+            master_seed,
+            |_, rng| self.simulate_to_loss(horizon, rng),
+            (0usize, 0usize),
+            |(losses, steps), outcome| match outcome {
+                Some(t) => (losses + 1, steps + t),
+                None => (losses, steps),
+            },
+        );
         StorageOutcome {
             trials,
             data_losses: losses,
@@ -229,5 +265,17 @@ mod tests {
     #[should_panic(expected = "data disk")]
     fn rejects_empty_array() {
         let _ = StorageArray::new(0, 1, 0.1, 1);
+    }
+
+    #[test]
+    fn parallel_batch_is_thread_count_invariant() {
+        let a = StorageArray::new(8, 1, 0.004, 2);
+        let serial = a.run_trials_par(200, 300, 42, &RunContext::new(7));
+        let parallel = a.run_trials_par(200, 300, 42, &RunContext::with_threads(7, 4));
+        assert_eq!(serial, parallel);
+        assert!(
+            serial.survival_probability() < 1.0,
+            "failures expected at this rate"
+        );
     }
 }

@@ -12,6 +12,7 @@
 //! `reserve ≥ 0`.
 
 use rand::Rng;
+use resilience_core::RunContext;
 
 /// A firm in a disruptable supply chain.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +55,10 @@ impl SupplyChain {
     /// Panics if revenue or costs are negative/non-finite, or the reserve
     /// is negative.
     pub fn new(revenue: f64, fixed_costs: f64, initial_reserve: f64) -> Self {
-        assert!(revenue.is_finite() && revenue >= 0.0, "revenue must be non-negative");
+        assert!(
+            revenue.is_finite() && revenue >= 0.0,
+            "revenue must be non-negative"
+        );
         assert!(
             fixed_costs.is_finite() && fixed_costs >= 0.0,
             "costs must be non-negative"
@@ -85,11 +89,7 @@ impl SupplyChain {
     /// insolvent.
     pub fn simulate_outage(&self, lead_in: usize, outage: usize, tail: usize) -> Option<f64> {
         let mut reserve = self.initial_reserve;
-        let phases = [
-            (lead_in, self.revenue),
-            (outage, 0.0),
-            (tail, self.revenue),
-        ];
+        let phases = [(lead_in, self.revenue), (outage, 0.0), (tail, self.revenue)];
         for (periods, income) in phases {
             for _ in 0..periods {
                 reserve += income - self.fixed_costs;
@@ -124,6 +124,45 @@ impl SupplyChain {
                 reserve_sum += r;
             }
         }
+        SupplyChainOutcome {
+            trials,
+            survived,
+            mean_final_reserve: if survived > 0 {
+                reserve_sum / survived as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Monte-Carlo batch distributed over the context's thread budget;
+    /// trial `i` draws its outage from an rng derived from
+    /// `(master_seed, i)`, so the outcome only depends on `master_seed`.
+    pub fn run_trials_par(
+        &self,
+        mean_outage: f64,
+        trials: usize,
+        master_seed: u64,
+        ctx: &RunContext,
+    ) -> SupplyChainOutcome {
+        assert!(mean_outage > 0.0, "mean outage must be positive");
+        let p = 1.0 / mean_outage;
+        let (survived, reserve_sum) = ctx.run_trials(
+            trials as u64,
+            master_seed,
+            |_, rng| {
+                let mut outage = 0usize;
+                while !rng.gen_bool(p.clamp(1e-9, 1.0)) && outage < 100_000 {
+                    outage += 1;
+                }
+                self.simulate_outage(4, outage, 4)
+            },
+            (0usize, 0.0f64),
+            |(survived, sum), outcome| match outcome {
+                Some(r) => (survived + 1, sum + r),
+                None => (survived, sum),
+            },
+        );
         SupplyChainOutcome {
             trials,
             survived,
@@ -195,5 +234,13 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn rejects_negative_reserve() {
         let _ = SupplyChain::new(1.0, 1.0, -5.0);
+    }
+
+    #[test]
+    fn parallel_batch_is_thread_count_invariant() {
+        let firm = SupplyChain::new(10.0, 5.0, 40.0);
+        let serial = firm.run_trials_par(10.0, 500, 11, &RunContext::new(3));
+        let parallel = firm.run_trials_par(10.0, 500, 11, &RunContext::with_threads(3, 4));
+        assert_eq!(serial, parallel);
     }
 }

@@ -125,7 +125,10 @@ pub fn sir_epidemic<R: Rng + ?Sized>(
     immunization: Immunization,
     rng: &mut R,
 ) -> SirOutcome {
-    assert!((0.0..=1.0).contains(&beta), "infection rate must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&beta),
+        "infection rate must be in [0,1]"
+    );
     let n = graph.len();
     #[derive(Clone, Copy, PartialEq)]
     enum State {

@@ -68,8 +68,7 @@ impl ForestReport {
         if self.fire_sizes.is_empty() {
             return 0.0;
         }
-        self.fire_sizes.iter().filter(|&&s| s >= size).count() as f64
-            / self.fire_sizes.len() as f64
+        self.fire_sizes.iter().filter(|&&s| s >= size).count() as f64 / self.fire_sizes.len() as f64
     }
 }
 
@@ -152,11 +151,7 @@ impl ForestFire {
             let x = (i % self.width) as isize;
             let y = (i / self.width) as isize;
             for (nx, ny) in [(x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)] {
-                if nx >= 0
-                    && ny >= 0
-                    && (nx as usize) < self.width
-                    && (ny as usize) < self.height
-                {
+                if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height {
                     let ni = ny as usize * self.width + nx as usize;
                     if self.tree[ni] && !seen[ni] {
                         seen[ni] = true;
@@ -235,7 +230,11 @@ mod tests {
         // Cluster (100) ≥ threshold (1000)? No wait: threshold larger than
         // cluster ⇒ suppressed: only 1 tree burns.
         let size = f
-            .step(1.0, ForestPolicy::SuppressSmall { threshold: 1_000 }, &mut rng)
+            .step(
+                1.0,
+                ForestPolicy::SuppressSmall { threshold: 1_000 },
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(size, 1);
         assert!((f.density() - 0.99).abs() < 1e-9);
@@ -259,8 +258,7 @@ mod tests {
 
         let mut rng = seeded_rng(144);
         let mut natural = ForestFire::new(50, 50, growth);
-        let natural_report =
-            natural.run(steps, lightning, ForestPolicy::LetBurn, 50, &mut rng);
+        let natural_report = natural.run(steps, lightning, ForestPolicy::LetBurn, 50, &mut rng);
 
         let mut rng = seeded_rng(144);
         let mut managed = ForestFire::new(50, 50, growth);

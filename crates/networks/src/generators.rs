@@ -54,7 +54,10 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
 ///
 /// Panics if `p ∉ [0, 1]`.
 pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0,1]"
+    );
     let mut g = Graph::new(n);
     for a in 0..n {
         for b in (a + 1)..n {
@@ -73,7 +76,10 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 ///
 /// Panics if `2k ≥ n` (the ring would wrap onto itself).
 pub fn ring_lattice(n: usize, k: usize) -> Graph {
-    assert!(n > 2 * k, "ring of {n} nodes cannot host {k} neighbors per side");
+    assert!(
+        n > 2 * k,
+        "ring of {n} nodes cannot host {k} neighbors per side"
+    );
     let mut g = Graph::new(n);
     for v in 0..n {
         for d in 1..=k {
@@ -96,8 +102,14 @@ pub fn ring_lattice(n: usize, k: usize) -> Graph {
 ///
 /// Panics if `2k ≥ n` or `beta ∉ [0, 1]`.
 pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
-    assert!(n > 2 * k, "ring of {n} nodes cannot host {k} neighbors per side");
-    assert!((0.0..=1.0).contains(&beta), "rewiring probability must be in [0,1]");
+    assert!(
+        n > 2 * k,
+        "ring of {n} nodes cannot host {k} neighbors per side"
+    );
+    assert!(
+        (0.0..=1.0).contains(&beta),
+        "rewiring probability must be in [0,1]"
+    );
     let mut g = Graph::new(n);
     for v in 0..n {
         for d in 1..=k {
@@ -148,7 +160,11 @@ pub fn planted_partition<R: Rng + ?Sized>(
     let block_of = |v: usize| v * blocks / n.max(1);
     for a in 0..n {
         for b in (a + 1)..n {
-            let p = if block_of(a) == block_of(b) { p_in } else { p_out };
+            let p = if block_of(a) == block_of(b) {
+                p_in
+            } else {
+                p_out
+            };
             if p > 0.0 && rng.gen_bool(p) {
                 g.add_edge(a, b);
             }
@@ -194,10 +210,7 @@ mod tests {
         let max_deg = *g.degrees().iter().max().unwrap();
         let mean = g.mean_degree();
         // Scale-free: the largest hub dwarfs the mean degree.
-        assert!(
-            max_deg as f64 > 8.0 * mean,
-            "max {max_deg} vs mean {mean}"
-        );
+        assert!(max_deg as f64 > 8.0 * mean, "max {max_deg} vs mean {mean}");
     }
 
     #[test]

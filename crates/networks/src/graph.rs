@@ -42,7 +42,10 @@ impl Graph {
     ///
     /// Panics on out-of-range endpoints or a self-loop.
     pub fn add_edge(&mut self, a: usize, b: usize) {
-        assert!(a < self.adj.len() && b < self.adj.len(), "endpoint out of range");
+        assert!(
+            a < self.adj.len() && b < self.adj.len(),
+            "endpoint out of range"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         self.adj[a].push(b as u32);
         self.adj[b].push(a as u32);

@@ -49,7 +49,9 @@ pub mod union_find;
 pub use attack::{attack_sweep, AttackCurve, AttackStrategy};
 pub use cascade::{CascadeOutcome, SirOutcome, ThresholdCascade};
 pub use forest_fire::{ForestFire, ForestPolicy, ForestReport};
-pub use generators::{barabasi_albert, complete, erdos_renyi, planted_partition, ring_lattice, watts_strogatz};
+pub use generators::{
+    barabasi_albert, complete, erdos_renyi, planted_partition, ring_lattice, watts_strogatz,
+};
 pub use graph::Graph;
 pub use percolation::{giant_component_fraction, giant_component_size};
 pub use sandpile::{InterventionPolicy, Sandpile, SandpileReport};

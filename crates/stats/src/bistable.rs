@@ -76,7 +76,11 @@ impl BistableProcess {
         let mut forcing = Vec::with_capacity(steps);
         let mut tipping_index = None;
         for i in 0..steps {
-            let frac = if steps <= 1 { 0.0 } else { i as f64 / (steps - 1) as f64 };
+            let frac = if steps <= 1 {
+                0.0
+            } else {
+                i as f64 / (steps - 1) as f64
+            };
             let a = a_start + (a_end - a_start) * frac;
             x = self.step(x, a, rng);
             series.push(x);
@@ -93,12 +97,7 @@ impl BistableProcess {
     }
 
     /// Stationary control run at constant forcing `a`.
-    pub fn simulate_stationary<R: Rng>(
-        &self,
-        steps: usize,
-        a: f64,
-        rng: &mut R,
-    ) -> TippingRun {
+    pub fn simulate_stationary<R: Rng>(&self, steps: usize, a: f64, rng: &mut R) -> TippingRun {
         self.simulate_ramp(steps, a, a, rng)
     }
 }
@@ -155,8 +154,8 @@ mod tests {
             })
             .collect();
         let early_var = TimeSeries::from_values(detrended[2_000..10_000].to_vec()).variance();
-        let late_var = TimeSeries::from_values(detrended[detrended.len() - 8_000..].to_vec())
-            .variance();
+        let late_var =
+            TimeSeries::from_values(detrended[detrended.len() - 8_000..].to_vec()).variance();
         assert!(
             late_var > early_var,
             "late {late_var} should exceed early {early_var}"

@@ -115,7 +115,10 @@ impl Gaussian {
 
     /// Standard normal.
     pub fn standard() -> Self {
-        Gaussian { mu: 0.0, sigma: 1.0 }
+        Gaussian {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 }
 
@@ -260,7 +263,10 @@ mod tests {
         assert!(xs.iter().all(|&x| x > 0.0));
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let theory = l.theoretical_mean().unwrap();
-        assert!((mean - theory).abs() / theory < 0.05, "mean {mean} vs {theory}");
+        assert!(
+            (mean - theory).abs() / theory < 0.05,
+            "mean {mean} vs {theory}"
+        );
         assert!(l.theoretical_variance().unwrap() > 0.0);
     }
 

@@ -206,9 +206,9 @@ mod tests {
         use rand::Rng;
         let s: TimeSeries = (0..5_000).map(|_| rng.gen::<f64>()).collect();
         let cfg = EwsConfig {
-            detrend_window: 0, // clamped to 2
+            detrend_window: 0,   // clamped to 2
             indicator_window: 0, // clamped to 4
-            stride: 0, // clamped to 1
+            stride: 0,           // clamped to 1
         };
         let report = early_warning_signals(&s, 5_000, &cfg).unwrap();
         assert!(report.variance.len() > 100);

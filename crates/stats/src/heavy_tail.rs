@@ -11,6 +11,7 @@
 //! measures how often it is ruined.
 
 use rand::Rng;
+use resilience_core::RunContext;
 
 use crate::distributions::Sampler;
 
@@ -147,6 +148,42 @@ impl InsuranceExperiment {
         }
         InsuranceOutcome { trials, ruins }
     }
+
+    /// Run `trials` insurer lifetimes distributed over the context's
+    /// thread budget. Lifetime `i` draws every loss from an rng derived
+    /// from `(master_seed, i)`, so the outcome is a pure function of
+    /// `master_seed` for any thread count.
+    pub fn run_par(
+        &self,
+        losses: &(dyn Sampler + Sync),
+        trials: usize,
+        master_seed: u64,
+        ctx: &RunContext,
+    ) -> InsuranceOutcome {
+        let ruins = ctx.run_trials(
+            trials as u64,
+            master_seed,
+            |_, rng| {
+                let hist_mean = (0..self.history.max(1))
+                    .map(|_| losses.sample(rng))
+                    .sum::<f64>()
+                    / self.history.max(1) as f64;
+                let premium = self.loading * hist_mean;
+                let mut capital = self.capital_multiple * hist_mean;
+                for _ in 0..self.horizon {
+                    capital += premium;
+                    capital -= losses.sample(rng);
+                    if capital < 0.0 {
+                        return true;
+                    }
+                }
+                false
+            },
+            0usize,
+            |ruins, ruined| ruins + usize::from(ruined),
+        );
+        InsuranceOutcome { trials, ruins }
+    }
 }
 
 #[cfg(test)]
@@ -171,7 +208,11 @@ mod tests {
         // Late jumps: Gaussian's running mean barely moves in the second
         // half; the heavy tail still jumps by whole percents.
         assert!(g.max_late_jump < 0.01, "gauss jump {}", g.max_late_jump);
-        assert!(h.max_late_jump > 10.0 * g.max_late_jump, "heavy jump {}", h.max_late_jump);
+        assert!(
+            h.max_late_jump > 10.0 * g.max_late_jump,
+            "heavy jump {}",
+            h.max_late_jump
+        );
         // One observation dominating the mean is the X-event signature.
         assert!(h.max_to_mean > 5.0 * g.max_to_mean);
     }
@@ -229,7 +270,21 @@ mod tests {
 
     #[test]
     fn outcome_edge_cases() {
-        let o = InsuranceOutcome { trials: 0, ruins: 0 };
+        let o = InsuranceOutcome {
+            trials: 0,
+            ruins: 0,
+        };
         assert_eq!(o.ruin_probability(), 0.0);
+    }
+
+    #[test]
+    fn parallel_batch_is_thread_count_invariant() {
+        use resilience_core::RunContext;
+        let exp = InsuranceExperiment::conventional(50, 500);
+        let heavy = Pareto::new(1.0, 1.3).unwrap();
+        let serial = exp.run_par(&heavy, 200, 31, &RunContext::new(2));
+        let parallel = exp.run_par(&heavy, 200, 31, &RunContext::with_threads(2, 4));
+        assert_eq!(serial, parallel);
+        assert!(serial.ruins > 0, "heavy tail should ruin someone");
     }
 }

@@ -160,10 +160,7 @@ mod tests {
     fn loglog_slope_near_minus_alpha() {
         let xs = pareto_sample(2.0, 50_000, 9);
         let slope = loglog_slope(&xs, 0.5).unwrap();
-        assert!(
-            (slope + 2.0).abs() < 0.3,
-            "slope {slope} should be near -2"
-        );
+        assert!((slope + 2.0).abs() < 0.3, "slope {slope} should be near -2");
     }
 
     #[test]

@@ -32,8 +32,8 @@ fn main() {
     println!("early warning raised: {}", report.warns(0.3));
 
     let control = process.simulate_stationary(60_000, -0.25, &mut rng);
-    let quiet = early_warning_signals(&control.series, 60_000, &EwsConfig::default())
-        .expect("enough data");
+    let quiet =
+        early_warning_signals(&control.series, 60_000, &EwsConfig::default()).expect("enough data");
     println!(
         "stationary control:      variance τ = {:.2}, lag-1 autocorrelation τ = {:.2} \
          (warning: {})",
@@ -47,14 +47,21 @@ fn main() {
     let exp = InsuranceExperiment::conventional(200, 2_000);
     let gauss = Gaussian::new(10.0, 2.0).expect("valid");
     let g = exp.run(&gauss, 300, &mut rng);
-    println!("Gaussian losses      : ruin probability {:.3}", g.ruin_probability());
+    println!(
+        "Gaussian losses      : ruin probability {:.3}",
+        g.ruin_probability()
+    );
     for alpha in [2.5, 1.5, 1.2] {
         let pareto = Pareto::new(1.0, alpha).expect("valid");
         let p = exp.run(&pareto, 300, &mut rng);
         println!(
             "Pareto(α={alpha}) losses: ruin probability {:.3}{}",
             p.ruin_probability(),
-            if alpha <= 2.0 { "  (infinite variance)" } else { "" }
+            if alpha <= 2.0 {
+                "  (infinite variance)"
+            } else {
+                ""
+            }
         );
     }
     println!(

@@ -29,7 +29,11 @@ fn main() {
             out.blackout_steps,
             out.unserved_energy,
             out.resilience_loss(),
-            if out.rode_through() { "  <- rides through" } else { "" }
+            if out.rode_through() {
+                "  <- rides through"
+            } else {
+                ""
+            }
         );
     }
 

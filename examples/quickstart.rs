@@ -30,7 +30,10 @@ fn main() {
 
     // Repair one bit per step until fit again.
     let outcome = system.repair(&GreedyRepair::new(), 16);
-    println!("\nrepair steps  : {} (flips {:?})", outcome.steps, outcome.flips);
+    println!(
+        "\nrepair steps  : {} (flips {:?})",
+        outcome.steps, outcome.flips
+    );
     println!("recovered     : {}", outcome.recovered);
 
     // Score the whole episode: the resilience triangle.

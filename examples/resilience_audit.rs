@@ -6,8 +6,8 @@
 //! cargo run --example resilience_audit
 //! ```
 
-use systems_resilience::core::{AllOnes, Catalogue, Config, Strategy};
 use systems_resilience::core::seeded_rng;
+use systems_resilience::core::{AllOnes, Catalogue, Config, Strategy};
 use systems_resilience::dcsp::belief::BeliefState;
 use systems_resilience::dcsp::repair::GreedyRepair;
 use systems_resilience::dcsp::tiger_team::{random_testing, TigerTeam};
@@ -15,14 +15,23 @@ use systems_resilience::dcsp::tiger_team::{random_testing, TigerTeam};
 fn main() {
     // 1. What does the Body of Knowledge say about our options?
     let bok = Catalogue::paper();
-    println!("== Resilience BoK: {} catalogued case studies ==", bok.len());
+    println!(
+        "== Resilience BoK: {} catalogued case studies ==",
+        bok.len()
+    );
     for strategy in Strategy::PASSIVE {
         println!("\n{strategy:?}:");
         for entry in bok.by_strategy(strategy) {
-            println!("  §{:<6} {} [{}]", entry.section, entry.case, entry.implemented_by);
+            println!(
+                "  §{:<6} {} [{}]",
+                entry.section, entry.case, entry.implemented_by
+            );
         }
     }
-    println!("\nActive-resilience dimensions: {}", bok.active_entries().len());
+    println!(
+        "\nActive-resilience dimensions: {}",
+        bok.active_entries().len()
+    );
 
     // 2. Modeling under uncertainty: a shock hit, sensors are partial.
     println!("\n== belief-state modeling after an unobserved ≤2-bit shock ==");
@@ -32,7 +41,10 @@ fn main() {
     for (bit, value) in [(0, true), (1, true), (2, false), (3, true), (4, true)] {
         belief.observe_bit(bit, value);
     }
-    println!("after 5 sensor readings          : {}", belief.cardinality());
+    println!(
+        "after 5 sensor readings          : {}",
+        belief.cardinality()
+    );
     let known = belief.known_bits();
     println!("bits pinned down                 : {}", known.len());
     let (flips, certain) = belief.conservative_repair(&env, 10);

@@ -19,11 +19,7 @@ fn main() {
     for repairs_per_step in [1usize, 2, 4] {
         let mut rng = seeded_rng(7);
         let mut craft = Spacecraft::new(24, 4, repairs_per_step);
-        let log = craft.simulate_mission(
-            600,
-            &ShockSchedule::Periodic { period: 8 },
-            &mut rng,
-        );
+        let log = craft.simulate_mission(600, &ShockSchedule::Periodic { period: 8 }, &mut rng);
         println!(
             "repairs/step {repairs_per_step}: guaranteed k = {}, strikes {}, \
              availability {:.2}, longest outage {}, Bruneau loss {:.0}",

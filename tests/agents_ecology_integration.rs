@@ -29,12 +29,10 @@ fn population_diversity_stays_within_index_bounds() {
 #[test]
 fn diversity_budget_actually_raises_measured_diversity() {
     let mut rng = seeded_rng(4002);
-    let low_d = BudgetedParams::from_allocation(
-        &BudgetAllocation::new(0.9, 0.0, 0.1).expect("valid"),
-    );
-    let high_d = BudgetedParams::from_allocation(
-        &BudgetAllocation::new(0.1, 0.8, 0.1).expect("valid"),
-    );
+    let low_d =
+        BudgetedParams::from_allocation(&BudgetAllocation::new(0.9, 0.0, 0.1).expect("valid"));
+    let high_d =
+        BudgetedParams::from_allocation(&BudgetAllocation::new(0.1, 0.8, 0.1).expect("valid"));
     // Compare the *mean* diversity over the run: adaptation continually
     // pulls lineages back onto the target, so standing diversity is a
     // churn equilibrium, not a final state.

@@ -54,6 +54,7 @@ fn agent_experiments_are_seed_deterministic() {
 #[test]
 fn experiment_tables_are_seed_deterministic() {
     use resilience_bench::experiments::registry;
+    use systems_resilience::core::RunContext;
     // A representative cheap subset (the full set is exercised by the
     // binary and the bench crate's own tests).
     for id in ["e1", "e2", "e4"] {
@@ -62,8 +63,8 @@ fn experiment_tables_are_seed_deterministic() {
             .find(|(rid, _)| *rid == id)
             .map(|(_, r)| r)
             .expect("registered");
-        let t1 = runner(42);
-        let t2 = runner(42);
+        let t1 = runner(&RunContext::new(42));
+        let t2 = runner(&RunContext::new(42));
         assert_eq!(t1, t2, "{id} must be reproducible");
     }
 }

@@ -6,8 +6,8 @@ use systems_resilience::ecology::moran::MoranProcess;
 use systems_resilience::ecology::weak_selection::AlleleDynamics;
 use systems_resilience::engineering::interop::InteropModel;
 use systems_resilience::engineering::nversion::{DesignStrategy, NVersionController};
-use systems_resilience::stats::distributions::{Gaussian, Lognormal, Pareto, Sampler};
 use systems_resilience::stats::descriptive::quantile;
+use systems_resilience::stats::distributions::{Gaussian, Lognormal, Pareto, Sampler};
 
 #[test]
 fn pareto_quantiles_match_inverse_cdf() {

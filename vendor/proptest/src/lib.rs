@@ -1,0 +1,205 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the macro/strategy surface this workspace uses —
+//! [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//! [`strategy::Strategy`] for ranges and [`strategy::any`], and
+//! [`collection::vec`] — over a deterministic seeded generator. Every
+//! test case is derived from an FNV hash of the test name plus the case
+//! index, so failures reproduce exactly across runs and machines.
+//!
+//! Shrinking and `proptest-regressions` replay are not implemented: a
+//! failing case panics with its case index and formatted arguments
+//! instead.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The usual `use proptest::prelude::*;` imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a normal test that evaluates the body over
+/// `config.cases` deterministic strategy draws.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal item-by-item expansion for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr); ) => {};
+    (
+        ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_config = $config;
+            let __proptest_runner =
+                $crate::test_runner::TestRunner::new(&__proptest_config, stringify!($name));
+            for __proptest_case in 0..__proptest_runner.cases() {
+                let mut __proptest_rng = __proptest_runner.rng_for_case(__proptest_case);
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&$strategy, &mut __proptest_rng);
+                )+
+                let __proptest_args = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                    $(&$arg),+
+                );
+                let __proptest_outcome = (|| -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__proptest_msg) = __proptest_outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        __proptest_case,
+                        __proptest_runner.cases(),
+                        __proptest_msg,
+                        __proptest_args,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+/// `assert!` for property bodies: reports the failing case instead of
+/// panicking mid-case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+            ));
+        }
+    }};
+}
+
+/// `prop_assume!` for property bodies. The real proptest rejects the
+/// case and draws a replacement; this stand-in simply skips the case
+/// (fine for assumptions that hold almost surely, like `a != b` over
+/// random `u64`s).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left != right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, x in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in crate::collection::vec(0u8..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn any_u64_varies(a in any::<u64>(), b in any::<u64>()) {
+            // Distinct strategy draws within a case come from one stream.
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let config = ProptestConfig::with_cases(4);
+        let runner = crate::test_runner::TestRunner::new(&config, "cases_are_deterministic");
+        let draw = |case| {
+            let mut rng = runner.rng_for_case(case);
+            crate::strategy::Strategy::generate(&(0u64..1_000_000), &mut rng)
+        };
+        assert_eq!(draw(0), draw(0));
+        assert_ne!(draw(0), draw(1));
+    }
+
+    #[test]
+    fn failing_property_reports() {
+        let config = ProptestConfig::with_cases(2);
+        let runner = crate::test_runner::TestRunner::new(&config, "failing_property_reports");
+        let mut rng = runner.rng_for_case(0);
+        let outcome = (|| -> Result<(), String> {
+            let n: usize = crate::strategy::Strategy::generate(&(0usize..10), &mut rng);
+            prop_assert!(n > 100, "n was {n}");
+            Ok(())
+        })();
+        assert!(outcome.is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Strategies: deterministic value generators driven by the case rng.
+
+use crate::test_runner::TestRng;
+use rand::distributions::{SampleUniform, Standard};
+use rand::{Distribution, Rng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value from the case rng.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + PartialOrd + Copy,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + PartialOrd + Copy,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// Strategy for "any value of `T`" — see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Uniform over all values of `T` (via the `Standard` distribution).
+pub fn any<T>() -> Any<T>
+where
+    Standard: Distribution<T>,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// A fixed value (proptest's `Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!((A / 0, B / 1)(A / 0, B / 1, C / 2)(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3
+));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{ProptestConfig, TestRunner};
+
+    fn rng() -> TestRng {
+        TestRunner::new(&ProptestConfig::with_cases(1), "strategy_tests").rng_for_case(0)
+    }
+
+    #[test]
+    fn inclusive_range_hits_bounds_eventually() {
+        let mut rng = rng();
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(0usize..=2).generate(&mut rng)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = rng();
+        let (a, b, c) = (0usize..5, -1.0f64..1.0, Just(7u8)).generate(&mut rng);
+        assert!(a < 5);
+        assert!((-1.0..1.0).contains(&b));
+        assert_eq!(c, 7);
+    }
+}

@@ -1,0 +1,65 @@
+//! The deterministic case runner behind [`crate::proptest!`].
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The rng handed to strategies for each case.
+pub type TestRng = ChaCha8Rng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives the per-case rngs for one property.
+#[derive(Debug)]
+pub struct TestRunner {
+    cases: u32,
+    seed_base: u64,
+}
+
+impl TestRunner {
+    /// Seed the runner from the property name (FNV-1a), so each property
+    /// sees its own reproducible stream.
+    pub fn new(config: &ProptestConfig, name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            cases: config.cases,
+            seed_base: hash,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The rng for one case: SplitMix64 over (name hash, case index).
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        let mut z = self
+            .seed_base
+            .wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ChaCha8Rng::seed_from_u64(z ^ (z >> 31))
+    }
+}

@@ -1,0 +1,224 @@
+//! Distributions: the [`Standard`] distribution and uniform range sampling.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers, uniform over `[0, 1)` for floats, a fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64
+);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Sign test on the high bit, as in rand 0.8.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 mantissa bits, uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)` (`inclusive = false`) or
+    /// `[low, high]` (`inclusive = true`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Range argument accepted by [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start() <= self.end(), "cannot sample empty range");
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Uniform `u64` in `[0, range)` for `range > 0`, by widening-multiply
+/// rejection (the "zone" method of rand 0.8).
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let wide = (v as u128) * (range as u128);
+        let hi = (wide >> 64) as u64;
+        let lo = wide as u64;
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as u64).wrapping_sub(low as u64);
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                if span == 0 {
+                    // Inclusive full-width range: any value.
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(sample_u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i64 as u64).wrapping_sub(low as i64 as u64);
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                ((low as i64 as u64).wrapping_add(sample_u64_below(rng, span))) as i64 as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        // The [1, 2) mantissa trick of rand 0.8's UniformFloat.
+        let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+        let value0_1 = value1_2 - 1.0;
+        let sample = low + value0_1 * (high - low);
+        // Guard against rounding up to `high` on exclusive ranges.
+        if sample >= high && high > low {
+            low.max(high - (high - low) * f64::EPSILON)
+        } else {
+            sample
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        f64::sample_uniform(rng, f64::from(low), f64::from(high), inclusive) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn below_is_uniform_enough() {
+        let mut rng = Lcg(9);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            counts[sample_u64_below(&mut rng, 7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut rng = Lcg(10);
+        for _ in 0..1000 {
+            let x = i64::sample_uniform(&mut rng, -5, 5, true);
+            assert!((-5..=5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_range_stays_exclusive() {
+        let mut rng = Lcg(11);
+        for _ in 0..10_000 {
+            let x = f64::sample_uniform(&mut rng, 0.0, 1.0, false);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

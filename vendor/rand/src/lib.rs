@@ -1,0 +1,203 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! subset of the `rand` API it actually uses. Algorithms follow the real
+//! crate where the choice is observable:
+//!
+//! * [`SeedableRng::seed_from_u64`] expands the seed with the same PCG32
+//!   stream rand_core 0.6 uses, so seeds map to the same key material.
+//! * [`Rng::gen_range`] uses the widening-multiply rejection method for
+//!   integers and the `[1, 2)` mantissa trick for floats.
+//! * [`Rng::gen_bool`] uses a 64-bit integer threshold comparison.
+//! * [`seq::SliceRandom::shuffle`] is the end-to-start Fisher–Yates walk.
+//!
+//! Cross-crate stream compatibility with the real `rand` is *not* a
+//! guarantee this workspace relies on — every statistical assertion is
+//! tolerance-based, and the repository's determinism contract (see
+//! DESIGN.md) is about self-consistency of seeds, not about matching a
+//! particular upstream release bit-for-bit.
+
+#![forbid(unsafe_code)]
+
+pub mod distributions;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// The core of every random number generator: a stream of raw bits.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be constructed from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it over the full seed with the
+    /// same PCG32 stream rand_core 0.6 uses.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&word.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A random value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// A random value in the given range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: p must be in [0, 1], got {p}"
+        );
+        if p >= 1.0 {
+            return true;
+        }
+        // Integer threshold: p maps to p·2⁶⁴ as in rand 0.8's Bernoulli.
+        let threshold = (p * 2.0f64.powi(64)) as u64;
+        self.next_u64() < threshold
+    }
+
+    /// Sample from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64: decent bits for the distribution tests below.
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: f64 = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&y));
+            let z: usize = rng.gen_range(5..=5);
+            assert_eq!(z, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(2);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut rng = Counter(3);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Counter(4);
+        let _: usize = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn unit_float_is_in_range() {
+        let mut rng = Counter(5);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

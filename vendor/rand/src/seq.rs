@@ -1,0 +1,188 @@
+//! Sequence-related randomness: slice shuffling/choosing and distinct
+//! index sampling.
+
+use crate::Rng;
+
+/// Extension methods on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffle in place (end-to-start Fisher–Yates, as in rand 0.8).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// One uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct uniformly random elements (or all of them if
+    /// `amount >= len`), in selection order.
+    fn choose_multiple<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn choose_multiple<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&'a T> {
+        let amount = amount.min(self.len());
+        let picked: Vec<&T> = index::sample(rng, self.len(), amount)
+            .into_iter()
+            .map(|i| &self[i])
+            .collect();
+        picked.into_iter()
+    }
+}
+
+/// Sampling distinct indices from `0..length`.
+pub mod index {
+    use crate::Rng;
+
+    /// A set of distinct indices.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterate over the indices.
+        pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, usize>> {
+            self.0.iter().copied()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Sample `amount` distinct indices from `0..length` (Floyd's
+    /// algorithm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} distinct indices from 0..{length}"
+        );
+        let mut picked: Vec<usize> = Vec::with_capacity(amount);
+        for j in (length - amount)..length {
+            let t = rng.gen_range(0..=j);
+            if picked.contains(&t) {
+                picked.push(j);
+            } else {
+                picked.push(t);
+            }
+        }
+        IndexVec(picked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::index::sample;
+    use super::*;
+    use crate::RngCore;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Lcg(1);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut rng = Lcg(2);
+        for _ in 0..200 {
+            let idx = sample(&mut rng, 30, 7).into_vec();
+            assert_eq!(idx.len(), 7);
+            let mut seen = idx.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), 7, "duplicates in {idx:?}");
+            assert!(idx.iter().all(|&i| i < 30));
+        }
+    }
+
+    #[test]
+    fn sample_full_range() {
+        let mut rng = Lcg(3);
+        let mut idx = sample(&mut rng, 5, 5).into_vec();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn choose_multiple_caps_at_len() {
+        let mut rng = Lcg(4);
+        let v = [1, 2, 3];
+        let all: Vec<&i32> = v.choose_multiple(&mut rng, 10).collect();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = Lcg(5);
+        let v: [u8; 0] = [];
+        assert!(v.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline stand-in for `rand_chacha` 0.3.
+//!
+//! Implements a genuine ChaCha8 keystream generator (IETF layout: 32-byte
+//! key, 64-bit block counter in state words 12–13, zero nonce) behind the
+//! vendored [`rand`] traits. The keystream is real ChaCha8 — the quality
+//! and determinism guarantees of the cipher hold — but byte-for-byte
+//! equality with upstream `rand_chacha` streams is not something this
+//! workspace depends on (all statistical assertions are tolerance-based).
+
+#![forbid(unsafe_code)]
+
+pub use rand::{RngCore, SeedableRng};
+
+/// Compatibility shim: callers import `rand_chacha::rand_core::SeedableRng`.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const BLOCK_WORDS: usize = 16;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block with `rounds / 2` double rounds.
+fn chacha_block(input: &[u32; BLOCK_WORDS], rounds: usize) -> [u32; BLOCK_WORDS] {
+    let mut state = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(input.iter()) {
+        *word = word.wrapping_add(*init);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; BLOCK_WORDS],
+            /// Next unconsumed word in `buffer`; `BLOCK_WORDS` = empty.
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                let mut input = [0u32; BLOCK_WORDS];
+                input[..4].copy_from_slice(&CONSTANTS);
+                input[4..12].copy_from_slice(&self.key);
+                input[12] = self.counter as u32;
+                input[13] = (self.counter >> 32) as u32;
+                // Words 14–15 stay zero (nonce).
+                self.buffer = chacha_block(&input, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+
+            #[inline]
+            fn next_word(&mut self) -> u32 {
+                if self.index >= BLOCK_WORDS {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                Self {
+                    key,
+                    counter: 0,
+                    buffer: [0; BLOCK_WORDS],
+                    index: BLOCK_WORDS,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                self.next_word()
+            }
+
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_word() as u64;
+                let hi = self.next_word() as u64;
+                lo | (hi << 32)
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds — the workspace's default generator."
+);
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector: ChaCha20 block function.
+    #[test]
+    fn chacha20_block_matches_rfc_8439() {
+        let mut input = [0u32; BLOCK_WORDS];
+        input[..4].copy_from_slice(&CONSTANTS);
+        let key_bytes: Vec<u8> = (0u8..32).collect();
+        for (i, chunk) in key_bytes.chunks_exact(4).enumerate() {
+            input[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        input[12] = 0x0000_0001; // counter
+        input[13] = 0x0900_0000; // nonce word 0
+        input[14] = 0x4a00_0000; // nonce word 1
+        input[15] = 0x0000_0000; // nonce word 2
+        let out = chacha_block(&input, 20);
+        let expected: [u32; BLOCK_WORDS] = [
+            0xe4e7f110, 0x15593bd1, 0x1fdd0f50, 0xc47120a3, 0xc7f4d1c7, 0x0368c033, 0x9aaa2204,
+            0x4e6cd4c3, 0x466482d2, 0x09aa9f07, 0x05d7c214, 0xa2028bd9, 0xd19c12b5, 0xb94e16de,
+            0xe883d0cb, 0x4e3c50a2,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let first_block: Vec<u32> = (0..BLOCK_WORDS).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..BLOCK_WORDS).map(|_| rng.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+
+    #[test]
+    fn output_distribution_sane() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        let rate = ones as f64 / (1000.0 * 64.0);
+        assert!((rate - 0.5).abs() < 0.01, "bit rate {rate}");
+    }
+}

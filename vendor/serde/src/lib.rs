@@ -1,0 +1,386 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal serialization framework with the same import surface the real
+//! crate offers (`serde::{Serialize, Deserialize}` traits + derive macros).
+//! Instead of serde's visitor architecture, this implementation round-trips
+//! every value through an owned [`Value`] tree; `serde_json` (also vendored)
+//! renders and parses that tree. The JSON data model matches stock serde's
+//! defaults for the shapes used in this workspace, so swapping the real
+//! crates back in produces the same documents.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// An owned JSON-like value tree — the interchange format between the
+/// [`Serialize`]/[`Deserialize`] traits and the `serde_json` front end.
+///
+/// Object entries preserve insertion order (struct field order), matching
+/// serde_json's `preserve_order` behaviour for reproducible output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed (negative) integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered entries.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup, `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+}
+
+/// serde_json-style indexing: `value["field"]` yields `Null` for a
+/// missing key or non-object instead of panicking.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// serde_json-style indexing: `value[i]` yields `Null` out of bounds.
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        self.as_array()
+            .and_then(|items| items.get(index))
+            .unwrap_or(&NULL)
+    }
+}
+
+/// Deserialization error: a message describing the shape mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// New error with the given message.
+    pub fn new(message: &str) -> Self {
+        DeError {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Look up a field in an object's entry list (derive-macro helper).
+pub fn object_field<'v>(entries: &'v [(String, Value)], name: &str) -> Result<&'v Value, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(&format!("missing field `{name}`")))
+}
+
+/// Serialize into the [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialize from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_u64().ok_or_else(|| {
+                    DeError::new(concat!("expected unsigned integer for ", stringify!($t)))
+                })?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 { Value::UInt(x as u64) } else { Value::Int(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_i64().ok_or_else(|| {
+                    DeError::new(concat!("expected integer for ", stringify!($t)))
+                })?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::new("expected number for f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| DeError::new("expected number for f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::new("expected single-char string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::new("expected array"))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::new("expected 2-element array"))?;
+        if items.len() != 2 {
+            return Err(DeError::new("expected 2-element array"));
+        }
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| DeError::new("expected object"))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}

@@ -1,0 +1,520 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! a minimal serde implementation (see `vendor/serde`). This proc-macro
+//! crate derives that implementation's `Serialize`/`Deserialize` traits for
+//! the item shapes the workspace actually uses:
+//!
+//! * structs with named fields (any visibility), unit structs, tuple structs
+//! * enums with unit variants, struct variants, and tuple variants
+//! * the `#[serde(skip)]` field attribute (omitted on serialize, filled from
+//!   `Default::default()` on deserialize)
+//!
+//! The JSON shape matches stock serde's defaults: structs are objects keyed
+//! by field name, unit enum variants are strings, data-carrying variants are
+//! single-key objects (`{"Variant": ...}`), newtype variants serialize their
+//! payload directly, and wider tuple variants serialize as arrays.
+//!
+//! No `syn`/`quote`: the input item is parsed with a small hand-rolled token
+//! walker and the impl is emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored serde's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the vendored serde's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token walking
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip attributes (`#[...]`), returning true if any skipped attribute
+    /// was exactly `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut saw_skip = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next(); // '#'
+                         // Inner attributes (`#![...]`) do not occur in derive input.
+            if let Some(TokenTree::Group(g)) = self.next() {
+                if g.delimiter() == Delimiter::Bracket && attr_is_serde_skip(&g.stream()) {
+                    saw_skip = true;
+                }
+            }
+        }
+        saw_skip
+    }
+
+    /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Skip a generic parameter list if one follows (`<...>`).
+    fn skip_generics(&mut self) {
+        let starts = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+        if !starts {
+            return;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        panic!("serde derive: unterminated generic parameter list");
+    }
+
+    /// Consume tokens up to (and including) the next top-level comma,
+    /// treating `<...>` as nested so commas inside generics don't split.
+    fn skip_past_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kind = c.expect_ident();
+    let name = c.expect_ident();
+    c.skip_generics();
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_struct_body(&mut c),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_enum_body(&mut c),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn parse_struct_body(c: &mut Cursor) -> Fields {
+    match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde derive: unsupported struct body {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        c.skip_past_comma(); // the field's type
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for t in stream {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_enum_body(c: &mut Cursor) -> Vec<Variant> {
+    let group = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde derive: expected enum body, found {other:?}"),
+    };
+    let mut c = Cursor::new(group.stream());
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                c.next();
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.clone();
+                c.next();
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant and/or the separating comma.
+        c.skip_past_comma();
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code emission
+// ---------------------------------------------------------------------------
+
+fn emit_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let mut s = String::from(
+                        "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                    );
+                    for f in fs.iter().filter(|f| !f.skip) {
+                        s.push_str(&format!(
+                            "fields.push((String::from(\"{0}\"), \
+                             ::serde::Serialize::serialize(&self.{0})));\n",
+                            f.name
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(fields)");
+                    s
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let mut body = String::from(
+                            "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fs.iter().filter(|f| !f.skip) {
+                            body.push_str(&format!(
+                                "fields.push((String::from(\"{0}\"), \
+                                 ::serde::Serialize::serialize({0})));\n",
+                                f.name
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "::serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                             ::serde::Value::Object(fields))])"
+                        ));
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {body} }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![\
+                             (String::from(\"{vn}\"), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn named_field_constructor(type_path: &str, fs: &[Field], obj: &str) -> String {
+    let mut inits = String::new();
+    for f in fs {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{0}: ::serde::Deserialize::deserialize(::serde::object_field({obj}, \"{0}\")?)?,\n",
+                f.name
+            ));
+        }
+    }
+    format!("{type_path} {{\n{inits}}}")
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => format!(
+                    "let obj = v.as_object().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected object for {name}\"))?;\n\
+                     Ok({})",
+                    named_field_constructor(name, fs, "obj")
+                ),
+                Fields::Unit => format!("let _ = v;\nOk({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::deserialize(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::deserialize(&arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "let arr = v.as_array().ok_or_else(|| \
+                         ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                         if arr.len() != {n} {{ return Err(::serde::DeError::new(\
+                         \"wrong tuple arity for {name}\")); }}\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+                    Fields::Named(fs) => keyed_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let obj = inner.as_object().ok_or_else(|| \
+                         ::serde::DeError::new(\"expected object for {name}::{vn}\"))?;\n\
+                         Ok({})\n}},\n",
+                        named_field_constructor(&format!("{name}::{vn}"), fs, "obj")
+                    )),
+                    Fields::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::deserialize(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&arr[{i}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::new(\"expected array for {name}::{vn}\"))?;\n\
+                             if arr.len() != {n} {{ return Err(::serde::DeError::new(\
+                             \"wrong tuple arity for {name}::{vn}\")); }}\n\
+                             Ok({name}::{vn}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::DeError::new(&format!(\
+                 \"unknown unit variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (key, inner) = &entries[0];\n\
+                 match key.as_str() {{\n\
+                 {keyed_arms}\
+                 other => Err(::serde::DeError::new(&format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::DeError::new(\"expected string or single-key object for {name}\")),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    }
+}
