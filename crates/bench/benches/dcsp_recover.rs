@@ -2,8 +2,10 @@
 //! repair strategy (greedy vs BFS-optimal) called out in DESIGN.md.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use resilience_core::{seeded_rng, AllOnes, Config, ShockKind};
-use resilience_dcsp::recoverability::is_k_recoverable_exhaustive;
+use resilience_core::{seeded_rng, AllOnes, Config, RunContext, ShockKind};
+use resilience_dcsp::recoverability::{
+    is_k_recoverable_exhaustive, is_k_recoverable_exhaustive_parallel, recoverability_reference,
+};
 use resilience_dcsp::repair::{BfsRepair, GreedyRepair, RepairStrategy};
 use resilience_dcsp::DcspSystem;
 use std::sync::Arc;
@@ -45,6 +47,37 @@ fn bench_repair(c: &mut Criterion) {
             is_k_recoverable_exhaustive(black_box(&start), &env10, &GreedyRepair::new(), 2, 2)
         })
     });
+    // Engine vs retained reference on the headline n=16/d=3 workload
+    // (696 damage patterns): the engine memoizes repair trajectories and
+    // walks ranks without per-case clones.
+    let start16 = Config::ones(16);
+    let env16 = AllOnes::new(16);
+    group.bench_function("exhaustive_engine_n16_d3", |b| {
+        b.iter(|| {
+            is_k_recoverable_exhaustive(black_box(&start16), &env16, &GreedyRepair::new(), 3, 3)
+        })
+    });
+    group.bench_function("exhaustive_reference_n16_d3", |b| {
+        b.iter(|| recoverability_reference(black_box(&start16), &env16, &GreedyRepair::new(), 3, 3))
+    });
+    // Thread scaling on the widened E2 workload (n=24/d=4, 12 950 cases).
+    let start24 = Config::ones(24);
+    let env24 = AllOnes::new(24);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("exhaustive_parallel_n24_d4/t{threads}"), |b| {
+            let ctx = RunContext::with_threads(0, threads);
+            b.iter(|| {
+                is_k_recoverable_exhaustive_parallel(
+                    black_box(&start24),
+                    &env24,
+                    &GreedyRepair::new(),
+                    4,
+                    4,
+                    &ctx,
+                )
+            })
+        });
+    }
     group.finish();
 }
 

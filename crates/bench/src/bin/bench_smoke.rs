@@ -1,0 +1,180 @@
+//! Quick performance smoke for the DCSP verification engine.
+//!
+//! Times the headline kernels a handful of times each (median wall time,
+//! no criterion machinery) and prints a JSON summary — the source of the
+//! checked-in `BENCH_2.json`. Also cross-checks that the fast paths still
+//! agree with the retained reference implementations, exiting non-zero on
+//! any mismatch, so CI running this binary doubles as an end-to-end
+//! equivalence smoke.
+//!
+//! ```bash
+//! cargo run --release -p resilience-bench --bin bench_smoke > BENCH_2.json
+//! ```
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use resilience_core::{AllOnes, AtLeastOnes, Config, RunContext};
+use resilience_dcsp::maintainability::{
+    analyze_bit_dcsp, analyze_bit_dcsp_adversarial, TransitionSystem,
+};
+use resilience_dcsp::recoverability::{
+    is_k_recoverable_exhaustive, is_k_recoverable_exhaustive_parallel, recoverability_reference,
+};
+use resilience_dcsp::repair::GreedyRepair;
+
+#[derive(Serialize)]
+struct Recoverability {
+    n16_d3_cases: usize,
+    n16_d3_engine_cases_per_sec: f64,
+    n16_d3_reference_cases_per_sec: f64,
+    n16_d3_engine_speedup: f64,
+    n24_d4_cases: usize,
+    n24_d4_threads1_cases_per_sec: f64,
+    n24_d4_threads4_cases_per_sec: f64,
+    n24_d4_thread_scaling: f64,
+}
+
+#[derive(Serialize)]
+struct Maintainability {
+    explicit_2pow12_csr_states_per_sec: f64,
+    explicit_2pow12_reference_states_per_sec: f64,
+    explicit_2pow12_csr_speedup: f64,
+    implicit_2pow20_bfs_states_per_sec: f64,
+    implicit_2pow20_adversarial_threads1_states_per_sec: f64,
+    implicit_2pow20_adversarial_threads4_states_per_sec: f64,
+    implicit_2pow20_adversarial_thread_scaling: f64,
+}
+
+#[derive(Serialize)]
+struct Meta {
+    profile: &'static str,
+    repetitions: usize,
+    timing: &'static str,
+    /// Host parallelism: thread-scaling ratios cannot exceed this, so a
+    /// `*_thread_scaling` below 1.0 on a 1-core host measures pure
+    /// spawn/contention overhead, not an engine defect.
+    cores: usize,
+}
+
+#[derive(Serialize)]
+struct Smoke {
+    recoverability: Recoverability,
+    maintainability: Maintainability,
+    meta: Meta,
+}
+
+/// Median wall-clock seconds over `reps` runs of `f`.
+fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let reps = 5;
+    let greedy = GreedyRepair::new();
+
+    // Exhaustive k-recoverability, engine vs reference, n=16/d=3/k=3.
+    let start16 = Config::ones(16);
+    let env16 = AllOnes::new(16);
+    let engine_report = is_k_recoverable_exhaustive(&start16, &env16, &greedy, 3, 3);
+    let reference_report = recoverability_reference(&start16, &env16, &greedy, 3, 3);
+    if engine_report != reference_report {
+        eprintln!("FAIL: engine and reference recoverability reports differ");
+        std::process::exit(1);
+    }
+    let cases16 = engine_report.cases as f64;
+    let engine_secs = median_secs(reps, || {
+        is_k_recoverable_exhaustive(&start16, &env16, &greedy, 3, 3)
+    });
+    let reference_secs = median_secs(reps, || {
+        recoverability_reference(&start16, &env16, &greedy, 3, 3)
+    });
+
+    // Thread scaling on the widened E2 workload, n=24/d=4/k=4.
+    let start24 = Config::ones(24);
+    let env24 = AllOnes::new(24);
+    let ctx1 = RunContext::with_threads(0, 1);
+    let ctx4 = RunContext::with_threads(0, 4);
+    let serial = is_k_recoverable_exhaustive_parallel(&start24, &env24, &greedy, 4, 4, &ctx1);
+    let parallel = is_k_recoverable_exhaustive_parallel(&start24, &env24, &greedy, 4, 4, &ctx4);
+    if serial != parallel {
+        eprintln!("FAIL: recoverability report depends on thread count");
+        std::process::exit(1);
+    }
+    let cases24 = serial.cases as f64;
+    let t1_secs = median_secs(reps, || {
+        is_k_recoverable_exhaustive_parallel(&start24, &env24, &greedy, 4, 4, &ctx1)
+    });
+    let t4_secs = median_secs(reps, || {
+        is_k_recoverable_exhaustive_parallel(&start24, &env24, &greedy, 4, 4, &ctx4)
+    });
+
+    // CSR backward BFS vs reference on the explicit 2^12-state system.
+    let env12 = AtLeastOnes::new(12, 10);
+    let ts12 = TransitionSystem::from_bit_dcsp(12, &env12, 2);
+    if ts12.analyze() != ts12.analyze_reference() {
+        eprintln!("FAIL: CSR analyze and reference reports differ");
+        std::process::exit(1);
+    }
+    let csr_secs = median_secs(reps, || ts12.analyze());
+    let ref_secs = median_secs(reps, || ts12.analyze_reference());
+
+    // Implicit model checking at 2^20 states.
+    let n = 20usize;
+    let env20 = AtLeastOnes::new(n, n - n / 3);
+    let states20 = (1u64 << n) as f64;
+    let bfs_secs = median_secs(reps, || analyze_bit_dcsp(n, &env20));
+    let adv1 = analyze_bit_dcsp_adversarial(n, &env20, 2, 1);
+    let adv4 = analyze_bit_dcsp_adversarial(n, &env20, 2, 4);
+    if adv1 != adv4 {
+        eprintln!("FAIL: implicit adversarial report depends on thread count");
+        std::process::exit(1);
+    }
+    let adv1_secs = median_secs(reps, || analyze_bit_dcsp_adversarial(n, &env20, 2, 1));
+    let adv4_secs = median_secs(reps, || analyze_bit_dcsp_adversarial(n, &env20, 2, 4));
+
+    let smoke = Smoke {
+        recoverability: Recoverability {
+            n16_d3_cases: engine_report.cases,
+            n16_d3_engine_cases_per_sec: cases16 / engine_secs,
+            n16_d3_reference_cases_per_sec: cases16 / reference_secs,
+            n16_d3_engine_speedup: reference_secs / engine_secs,
+            n24_d4_cases: serial.cases,
+            n24_d4_threads1_cases_per_sec: cases24 / t1_secs,
+            n24_d4_threads4_cases_per_sec: cases24 / t4_secs,
+            n24_d4_thread_scaling: t1_secs / t4_secs,
+        },
+        maintainability: Maintainability {
+            explicit_2pow12_csr_states_per_sec: 4096.0 / csr_secs,
+            explicit_2pow12_reference_states_per_sec: 4096.0 / ref_secs,
+            explicit_2pow12_csr_speedup: ref_secs / csr_secs,
+            implicit_2pow20_bfs_states_per_sec: states20 / bfs_secs,
+            implicit_2pow20_adversarial_threads1_states_per_sec: states20 / adv1_secs,
+            implicit_2pow20_adversarial_threads4_states_per_sec: states20 / adv4_secs,
+            implicit_2pow20_adversarial_thread_scaling: adv1_secs / adv4_secs,
+        },
+        meta: Meta {
+            profile: if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+            repetitions: reps,
+            timing: "median wall seconds per run",
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        },
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&smoke).expect("serializes")
+    );
+}

@@ -5,15 +5,20 @@
 //! ```bash
 //! experiments                 # run everything, Markdown to stdout
 //! experiments e4 e15          # selected experiments
+//! experiments --only e4,e15   # same, comma-separated
 //! experiments --seed 7 e12    # override the master seed
 //! experiments --json e1       # machine-readable output
 //! experiments --threads 4     # parallel Monte Carlo (same tables!)
 //! ```
 //!
 //! The thread budget can also be set with `RESILIENCE_THREADS`; the
-//! `--threads` flag wins when both are given. Tables are a pure function
-//! of the seed — any thread count produces bit-identical output, only
-//! the wall-time (reported on stderr) changes.
+//! `--threads` flag wins when both are given. Likewise a default
+//! experiment selection can be set with `RESILIENCE_ONLY` (comma-
+//! separated ids, e.g. `RESILIENCE_ONLY=e2,e3`); explicit ids on the
+//! command line (positional or `--only`) win over the environment.
+//! Tables are a pure function of the seed — any thread count produces
+//! bit-identical output, only the wall-time (reported on stderr)
+//! changes.
 
 use resilience_bench::experiments::registry;
 use resilience_core::RunContext;
@@ -44,11 +49,29 @@ fn main() {
                 }
             }
             "--json" => json = true,
+            "--only" => {
+                let list = it
+                    .next()
+                    .unwrap_or_else(|| die("--only needs a comma-separated id list"));
+                wanted.extend(parse_id_list(&list));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--seed N] [--threads N] [--json] [e1 e2 ... e22]");
+                eprintln!(
+                    "usage: experiments [--seed N] [--threads N] [--json] \
+                     [--only e2,e3] [e1 e2 ... e22]"
+                );
                 return;
             }
             other => wanted.push(other.to_ascii_lowercase()),
+        }
+    }
+    if wanted.is_empty() {
+        // Fall back to the environment's default selection.
+        if let Ok(list) = std::env::var("RESILIENCE_ONLY") {
+            wanted = parse_id_list(&list);
+            if wanted.is_empty() {
+                die("RESILIENCE_ONLY must name at least one experiment");
+            }
         }
     }
     let reg = registry();
@@ -91,6 +114,16 @@ fn main() {
             println!("{}", table.to_markdown());
         }
     }
+}
+
+/// Split a comma-separated experiment-id list, lowercased, skipping
+/// empty segments (so trailing commas are harmless).
+fn parse_id_list(raw: &str) -> Vec<String> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_ascii_lowercase)
+        .collect()
 }
 
 /// Thread budget from `RESILIENCE_THREADS` (default 1; rejects 0).

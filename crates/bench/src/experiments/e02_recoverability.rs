@@ -1,14 +1,17 @@
 //! E2 — spacecraft k-recoverability (paper §4.2 worked example).
 
 use resilience_core::{AllOnes, Config};
-use resilience_dcsp::recoverability::is_k_recoverable_exhaustive;
+use resilience_dcsp::recoverability::is_k_recoverable_exhaustive_parallel;
 use resilience_dcsp::repair::GreedyRepair;
 
 use crate::table::ExperimentTable;
 use resilience_core::RunContext;
 
-/// Run E2. Deterministic (exhaustive); `_seed` is unused.
-pub fn run(_ctx: &RunContext) -> ExperimentTable {
+/// Run E2. Deterministic (exhaustive): the damage-pattern space is
+/// partitioned into rank ranges and checked on `ctx`'s worker threads;
+/// the rank-ordered fold makes the table identical for any thread count
+/// (and to the sequential reference checker).
+pub fn run(ctx: &RunContext) -> ExperimentTable {
     let mut rows = Vec::new();
     let mut all_match = true;
     for &(n, damage, k) in &[
@@ -18,10 +21,21 @@ pub fn run(_ctx: &RunContext) -> ExperimentTable {
         (12, 3, 3),
         (8, 3, 2), // under-budgeted: must fail
         (12, 4, 3),
+        (16, 3, 3),
+        (20, 4, 4),
+        (24, 4, 3), // under-budgeted at scale: must fail
+        (24, 4, 4),
     ] {
         let start = Config::ones(n);
         let env = AllOnes::new(n);
-        let report = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), damage, k);
+        let report = is_k_recoverable_exhaustive_parallel(
+            &start,
+            &env,
+            &GreedyRepair::new(),
+            damage,
+            k,
+            ctx,
+        );
         let expected = k >= damage;
         if report.is_k_recoverable() != expected {
             all_match = false;
@@ -68,8 +82,17 @@ mod tests {
     fn theory_matches_measurement() {
         let t = super::run(&RunContext::new(0));
         assert!(t.finding.contains("(true)"));
+        assert_eq!(t.rows.len(), 10);
         for row in &t.rows {
             assert_eq!(row[5], row[6], "row {row:?}");
         }
+    }
+
+    #[test]
+    fn table_is_thread_invariant() {
+        let serial = super::run(&RunContext::with_threads(0, 1));
+        let parallel = super::run(&RunContext::with_threads(0, 4));
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(serial.finding, parallel.finding);
     }
 }

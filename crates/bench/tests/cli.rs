@@ -10,6 +10,7 @@ fn experiments() -> Command {
     // Isolate from the ambient environment so the env-var tests and the
     // default-threads assumption hold regardless of the caller's shell.
     cmd.env_remove("RESILIENCE_THREADS");
+    cmd.env_remove("RESILIENCE_ONLY");
     cmd
 }
 
@@ -90,6 +91,81 @@ fn json_output_round_trips_and_is_thread_invariant() {
     assert_eq!(serial, parallel, "stdout must not depend on thread count");
     let value: serde_json::Value = serde_json::from_str(&serial).expect("valid JSON");
     assert_eq!(value["id"], serde_json::Value::String("E20".into()));
+}
+
+#[test]
+fn only_flag_selects_comma_separated_ids() {
+    let out = experiments()
+        .args(["--json", "--only", "e20"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(value["id"], serde_json::Value::String("E20".into()));
+    // Equivalent to positional selection.
+    let positional = experiments()
+        .args(["--json", "e20"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.stdout, positional.stdout);
+}
+
+#[test]
+fn only_flag_without_value_exits_2() {
+    let out = experiments().arg("--only").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--only"), "stderr: {stderr}");
+}
+
+#[test]
+fn only_flag_with_unknown_id_exits_2() {
+    let out = experiments()
+        .args(["--only", "e20,e99"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("e99"), "stderr: {stderr}");
+}
+
+#[test]
+fn only_env_var_provides_default_selection() {
+    let out = experiments()
+        .env("RESILIENCE_ONLY", "e20")
+        .arg("--json")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(value["id"], serde_json::Value::String("E20".into()));
+}
+
+#[test]
+fn explicit_ids_override_only_env_var() {
+    // The env var names e1, but the command line asks for e20.
+    let out = experiments()
+        .env("RESILIENCE_ONLY", "e1")
+        .args(["--json", "--only", "e20"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(value["id"], serde_json::Value::String("E20".into()));
+}
+
+#[test]
+fn empty_only_env_var_exits_2() {
+    let out = experiments()
+        .env("RESILIENCE_ONLY", ",,")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("RESILIENCE_ONLY"), "stderr: {stderr}");
 }
 
 #[test]

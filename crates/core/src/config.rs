@@ -100,6 +100,24 @@ impl Config {
         c
     }
 
+    /// Overwrite all bits from the low `len` bits of `value`, in place —
+    /// the allocation-free counterpart of [`Config::from_u64`] for tight
+    /// loops sweeping an explicit state space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is longer than 64 bits.
+    pub fn set_from_u64(&mut self, value: u64) {
+        assert!(self.len <= 64, "set_from_u64 supports at most 64 bits");
+        if let Some(word) = self.words.first_mut() {
+            *word = if self.len == 64 {
+                value
+            } else {
+                value & ((1u64 << self.len) - 1)
+            };
+        }
+    }
+
     /// Encode as an integer (inverse of [`Config::from_u64`]).
     ///
     /// # Panics
@@ -246,12 +264,57 @@ impl Config {
 
     /// Indices of 1-bits.
     pub fn ones_indices(&self) -> Vec<usize> {
-        (0..self.len).filter(|&i| self.get(i)).collect()
+        self.iter_ones().collect()
     }
 
     /// Indices of 0-bits.
     pub fn zeros_indices(&self) -> Vec<usize> {
-        (0..self.len).filter(|&i| !self.get(i)).collect()
+        self.iter_zeros().collect()
+    }
+
+    /// Iterate over the indices of 1-bits in ascending order without
+    /// allocating: each word is drained with `trailing_zeros`, so the cost
+    /// is `O(words + popcount)` rather than `O(len)` per call.
+    pub fn iter_ones(&self) -> BitIndexIter<'_> {
+        BitIndexIter {
+            words: &self.words,
+            len: self.len,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            invert: false,
+        }
+    }
+
+    /// Iterate over the indices of 0-bits in ascending order without
+    /// allocating (complement of [`Config::iter_ones`]).
+    pub fn iter_zeros(&self) -> BitIndexIter<'_> {
+        BitIndexIter {
+            words: &self.words,
+            len: self.len,
+            word_idx: 0,
+            current: !self.words.first().copied().unwrap_or(0),
+            invert: true,
+        }
+    }
+
+    /// The index of the `k`-th 1-bit (0-based selection), or `None` if
+    /// fewer than `k + 1` bits are set. Equivalent to
+    /// `self.ones_indices().get(k)` without materializing the vector.
+    pub fn nth_one(&self, k: usize) -> Option<usize> {
+        let mut remaining = k;
+        for (w, &word) in self.words.iter().enumerate() {
+            let pop = word.count_ones() as usize;
+            if remaining < pop {
+                // Select the `remaining`-th set bit inside this word.
+                let mut word = word;
+                for _ in 0..remaining {
+                    word &= word - 1; // clear lowest set bit
+                }
+                return Some(w * WORD_BITS + word.trailing_zeros() as usize);
+            }
+            remaining -= pop;
+        }
+        None
     }
 
     /// Flip `k` distinct uniformly-chosen bits (a random damage event).
@@ -300,6 +363,46 @@ impl Config {
             if let Some(last) = self.words.last_mut() {
                 *last &= (1u64 << rem) - 1;
             }
+        }
+    }
+}
+
+/// Allocation-free iterator over the set (or cleared) bit indices of a
+/// [`Config`], in ascending order. Created by [`Config::iter_ones`] /
+/// [`Config::iter_zeros`].
+#[derive(Debug, Clone)]
+pub struct BitIndexIter<'a> {
+    words: &'a [u64],
+    len: usize,
+    word_idx: usize,
+    /// Remaining bits of the current word (already inverted for zeros).
+    current: u64,
+    invert: bool,
+}
+
+impl Iterator for BitIndexIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                let idx = self.word_idx * WORD_BITS + bit;
+                if idx >= self.len {
+                    return None; // phantom tail bit of an inverted word
+                }
+                self.current &= self.current - 1;
+                return Some(idx);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = if self.invert {
+                !self.words[self.word_idx]
+            } else {
+                self.words[self.word_idx]
+            };
         }
     }
 }
@@ -458,6 +561,69 @@ mod tests {
         assert_eq!(a.differing_bits(&b).unwrap(), vec![0, 3]);
         assert_eq!(a.ones_indices(), vec![0, 2]);
         assert_eq!(a.zeros_indices(), vec![1, 3]);
+    }
+
+    #[test]
+    fn iter_ones_and_zeros_match_indices() {
+        for len in [0usize, 1, 7, 63, 64, 65, 128, 130] {
+            for seed in 0..4u64 {
+                let c = Config::random(len, &mut seeded_rng(seed ^ len as u64));
+                assert_eq!(c.iter_ones().collect::<Vec<_>>(), c.ones_indices());
+                assert_eq!(c.iter_zeros().collect::<Vec<_>>(), c.zeros_indices());
+            }
+        }
+    }
+
+    #[test]
+    fn iter_zeros_skips_phantom_tail_bits() {
+        // A 65-bit all-ones config: the second word has 63 phantom zero
+        // bits that must not leak out of iter_zeros.
+        let c = Config::ones(65);
+        assert_eq!(c.iter_zeros().count(), 0);
+        let z = Config::zeros(65);
+        assert_eq!(z.iter_zeros().count(), 65);
+        assert_eq!(z.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn nth_one_selects_kth_set_bit() {
+        let c: Config = "0110010111".parse().unwrap();
+        let ones = c.ones_indices();
+        for (k, &idx) in ones.iter().enumerate() {
+            assert_eq!(c.nth_one(k), Some(idx));
+        }
+        assert_eq!(c.nth_one(ones.len()), None);
+        // Across word boundaries.
+        let mut wide = Config::zeros(130);
+        wide.set(3);
+        wide.set(64);
+        wide.set(129);
+        assert_eq!(wide.nth_one(0), Some(3));
+        assert_eq!(wide.nth_one(1), Some(64));
+        assert_eq!(wide.nth_one(2), Some(129));
+        assert_eq!(wide.nth_one(3), None);
+    }
+
+    #[test]
+    fn set_from_u64_matches_from_u64() {
+        let mut probe = Config::zeros(7);
+        for value in 0u64..128 {
+            probe.set_from_u64(value);
+            assert_eq!(probe, Config::from_u64(value, 7));
+        }
+        // High bits beyond the length are masked off, like from_u64.
+        probe.set_from_u64(u64::MAX);
+        assert_eq!(probe, Config::ones(7));
+        let mut full = Config::zeros(64);
+        full.set_from_u64(u64::MAX);
+        assert_eq!(full, Config::ones(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 bits")]
+    fn set_from_u64_rejects_wide_configs() {
+        let mut wide = Config::zeros(65);
+        wide.set_from_u64(1);
     }
 
     #[test]

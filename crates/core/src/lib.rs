@@ -62,7 +62,7 @@ pub mod strategy;
 
 pub use bok::{BokEntry, Catalogue, Domain};
 pub use bruneau::{resilience_loss, ResilienceTriangle};
-pub use config::Config;
+pub use config::{BitIndexIter, Config};
 pub use constraint::{
     AllOnes, AndConstraint, AtLeastOnes, Constraint, ExplicitSet, NotConstraint, OrConstraint,
     PredicateConstraint,

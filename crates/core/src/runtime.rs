@@ -69,6 +69,26 @@ impl RunContext {
         self.trials_run.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Partition `0..total` into contiguous chunks on this context's
+    /// thread budget and fold the partial results in chunk order. See
+    /// [`ParallelTrials::run_ranges`]. Records `total` work items.
+    pub fn run_ranges<T, Acc, F, R>(
+        &self,
+        total: u64,
+        chunk_size: u64,
+        range_fn: F,
+        init: Acc,
+        reduce: R,
+    ) -> Acc
+    where
+        T: Send,
+        F: Fn(std::ops::Range<u64>) -> T + Sync,
+        R: FnMut(Acc, T) -> Acc,
+    {
+        self.record_trials(total);
+        ParallelTrials::new(self.threads).run_ranges(total, chunk_size, range_fn, init, reduce)
+    }
+
     /// Run `n_trials` seeded trials on this context's thread budget and
     /// fold the results in trial order. See [`ParallelTrials::run`].
     pub fn run_trials<T, Acc, F, R>(
@@ -178,6 +198,76 @@ impl ParallelTrials {
             .into_iter()
             .fold(init, |acc, (_, value)| reduce(acc, value))
     }
+
+    /// Partition the index space `0..total` into contiguous chunks of at
+    /// most `chunk_size` items, evaluate `range_fn` on each chunk, and
+    /// fold the partial results **in ascending chunk order**.
+    ///
+    /// This is the deterministic-fold primitive for exhaustive sweeps
+    /// (rather than seeded Monte Carlo trials): chunks are claimed by
+    /// worker threads from a shared counter for load balancing, but the
+    /// reduction order — and therefore the result — never depends on the
+    /// schedule or the thread budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn run_ranges<T, Acc, F, R>(
+        &self,
+        total: u64,
+        chunk_size: u64,
+        range_fn: F,
+        init: Acc,
+        mut reduce: R,
+    ) -> Acc
+    where
+        T: Send,
+        F: Fn(std::ops::Range<u64>) -> T + Sync,
+        R: FnMut(Acc, T) -> Acc,
+    {
+        assert!(chunk_size >= 1, "chunk size must be at least 1");
+        let n_chunks = total.div_ceil(chunk_size);
+        let chunk_range = |c: u64| (c * chunk_size)..((c + 1) * chunk_size).min(total);
+        let workers = self
+            .threads
+            .min(usize::try_from(n_chunks).unwrap_or(usize::MAX));
+        if workers <= 1 {
+            let mut acc = init;
+            for c in 0..n_chunks {
+                acc = reduce(acc, range_fn(chunk_range(c)));
+            }
+            return acc;
+        }
+
+        let next = AtomicU64::new(0);
+        let results: Mutex<Vec<(u64, T)>> =
+            Mutex::new(Vec::with_capacity(usize::try_from(n_chunks).unwrap_or(0)));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(u64, T)> = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        local.push((c, range_fn(chunk_range(c))));
+                    }
+                    results
+                        .lock()
+                        .expect("chunk result mutex poisoned")
+                        .append(&mut local);
+                });
+            }
+        });
+
+        let mut collected = results.into_inner().expect("chunk result mutex poisoned");
+        collected.sort_unstable_by_key(|(c, _)| *c);
+        debug_assert_eq!(collected.len() as u64, n_chunks);
+        collected
+            .into_iter()
+            .fold(init, |acc, (_, value)| reduce(acc, value))
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +345,55 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_threads_rejected() {
         let _ = ParallelTrials::new(0);
+    }
+
+    fn ranges_of(threads: usize, total: u64, chunk: u64) -> Vec<std::ops::Range<u64>> {
+        ParallelTrials::new(threads).run_ranges(
+            total,
+            chunk,
+            |r| r,
+            Vec::new(),
+            |mut acc, r| {
+                acc.push(r);
+                acc
+            },
+        )
+    }
+
+    #[test]
+    fn run_ranges_covers_everything_in_order() {
+        for (total, chunk) in [(0u64, 5u64), (1, 5), (10, 3), (12, 4), (100, 7)] {
+            let serial = ranges_of(1, total, chunk);
+            // Contiguous, ordered, exact cover of 0..total.
+            let mut expected_start = 0;
+            for r in &serial {
+                assert_eq!(r.start, expected_start);
+                assert!(r.end - r.start <= chunk);
+                expected_start = r.end;
+            }
+            assert_eq!(expected_start, total);
+            for threads in [2, 4, 7] {
+                assert_eq!(
+                    serial,
+                    ranges_of(threads, total, chunk),
+                    "total={total} chunk={chunk} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn run_ranges_rejects_zero_chunk() {
+        let _ = ranges_of(1, 10, 0);
+    }
+
+    #[test]
+    fn context_run_ranges_records_work() {
+        let ctx = RunContext::with_threads(1, 3);
+        let sum: u64 = ctx.run_ranges(20, 6, |r| r.end - r.start, 0, |acc, x| acc + x);
+        assert_eq!(sum, 20);
+        assert_eq!(ctx.trials_run(), 20);
     }
 
     #[test]

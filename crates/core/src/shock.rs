@@ -74,7 +74,10 @@ impl ShockKind {
                 state.flip_random(k, rng)
             }
             ShockKind::ComponentLoss { count } => {
-                let mut ones = state.ones_indices();
+                // Word-based collection (iter_ones) rather than a per-bit
+                // probe; the Fisher–Yates prefix below needs the
+                // materialized indices for its swaps.
+                let mut ones: Vec<usize> = state.iter_ones().collect();
                 let take = (*count).min(ones.len());
                 // Fisher–Yates prefix for an unbiased sample of good components.
                 for i in 0..take {

@@ -54,10 +54,14 @@ pub mod tiger_team;
 
 pub use belief::BeliefState;
 pub use cost::{CostConstraint, CostFunction, WeightedClauses, WeightedMismatch};
-pub use maintainability::{MaintainabilityReport, MaintenancePolicy, TransitionSystem};
+pub use maintainability::{
+    analyze_bit_dcsp, analyze_bit_dcsp_adversarial, MaintainabilityReport, MaintenancePolicy,
+    TransitionSystem,
+};
 pub use problem::{DcspSystem, EpisodeRecord};
 pub use recoverability::{
-    is_k_recoverable_exhaustive, sampled_recoverability, RecoverabilityReport,
+    is_k_recoverable_exhaustive, is_k_recoverable_exhaustive_parallel, recoverability_reference,
+    sampled_recoverability, RecoverabilityReport,
 };
 pub use repair::{AnnealRepair, BfsRepair, GreedyRepair, RepairOutcome, RepairStrategy};
 pub use scenario::{Scenario, ScenarioReport, ScenarioStep};

@@ -7,20 +7,47 @@
 //!
 //! [`TransitionSystem`] is an explicit-state model with *controllable*
 //! actions (the administrator's moves) and *exogenous* transitions (the
-//! environment's moves). Two analyses are provided:
+//! environment's moves). Internally the adjacency lists are mirrored into
+//! compressed-sparse-row (CSR) arrays — forward and reverse edges packed
+//! into flat `u32` offset/target vectors — built once on first analysis and
+//! invalidated when edges change. Two analyses are provided:
 //!
 //! * [`TransitionSystem::analyze`] — the paper's definition: the
-//!   environment stays quiet during repair. Backward BFS from the normal
-//!   states yields, for every state, the minimum number of controllable
-//!   steps to normality, and a [`MaintenancePolicy`] achieving it. This is
-//!   the polynomial-time construction of Baral & Eiter.
+//!   environment stays quiet during repair. Backward BFS (word-packed
+//!   bitset frontiers over the reverse CSR) from the normal states yields,
+//!   for every state, the minimum number of controllable steps to
+//!   normality, and a [`MaintenancePolicy`] achieving it. This is the
+//!   polynomial-time construction of Baral & Eiter.
 //! * [`TransitionSystem::analyze_adversarial`] — a strictly stronger
 //!   variant in which after every administrator action the environment may
-//!   take one worst-case exogenous step; computed as a min-max fixed point.
+//!   take one worst-case exogenous step; computed as a min-max fixed point
+//!   by Jacobi (snapshot) value iteration, parallelizable over state
+//!   ranges ([`TransitionSystem::analyze_adversarial_threads`]) with
+//!   thread-invariant output.
+//!
+//! For bit-string DCSPs the explicit construction
+//! ([`TransitionSystem::from_bit_dcsp`]) materializes all `2^n` states and
+//! is capped at 20 bits; the *implicit* checkers [`analyze_bit_dcsp`] and
+//! [`analyze_bit_dcsp_adversarial`] generate single-bit-flip moves on the
+//! fly and scale past `2^20` states while producing byte-identical reports.
+//!
+//! Policy tie-breaking is canonical in every analysis path: among the
+//! controllable successors achieving the optimal value, the one inserted
+//! first is chosen (for bit DCSPs, the lowest flipped bit). This makes the
+//! fast paths, the retained references, and the implicit generators agree
+//! exactly, which the test suite checks.
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
 use resilience_core::{Config, Constraint};
+
+/// "Unreachable / unbounded" sentinel for adversarial values. Kept well
+/// below `usize::MAX` so `best + 1` cannot overflow.
+const INF: usize = usize::MAX / 4;
+
+/// BFS "not yet visited" sentinel; valid levels are `<= n_states < u32::MAX`.
+const UNSET: u32 = u32::MAX;
 
 /// Explicit-state transition system with controllable and exogenous moves.
 #[derive(Debug, Clone)]
@@ -31,6 +58,129 @@ pub struct TransitionSystem {
     controllable: Vec<Vec<usize>>,
     /// `exogenous[s]` = environment moves possible from `s`.
     exogenous: Vec<Vec<usize>>,
+    /// CSR mirror of the adjacency lists, built lazily on first analysis
+    /// and dropped whenever an edge is added.
+    csr: OnceLock<Csr>,
+}
+
+/// One adjacency relation in compressed-sparse-row form: the neighbors of
+/// `s` are `targets[offsets[s] .. offsets[s + 1]]`, in insertion order.
+#[derive(Debug, Clone)]
+struct EdgeList {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl EdgeList {
+    fn forward(adj: &[Vec<usize>]) -> Self {
+        let n_edges: usize = adj.iter().map(Vec::len).sum();
+        assert!(
+            n_edges < u32::MAX as usize,
+            "edge count exceeds CSR capacity"
+        );
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut targets = Vec::with_capacity(n_edges);
+        offsets.push(0u32);
+        for tos in adj {
+            targets.extend(tos.iter().map(|&t| t as u32));
+            offsets.push(targets.len() as u32);
+        }
+        EdgeList { offsets, targets }
+    }
+
+    /// Reverse adjacency via stable counting sort: each state's
+    /// predecessors appear in ascending (source, insertion) order.
+    fn reversed(adj: &[Vec<usize>]) -> Self {
+        let n = adj.len();
+        let n_edges: usize = adj.iter().map(Vec::len).sum();
+        assert!(
+            n_edges < u32::MAX as usize,
+            "edge count exceeds CSR capacity"
+        );
+        let mut counts = vec![0u32; n + 1];
+        for tos in adj {
+            for &t in tos {
+                counts[t + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; n_edges];
+        for (from, tos) in adj.iter().enumerate() {
+            for &t in tos {
+                targets[cursor[t] as usize] = from as u32;
+                cursor[t] += 1;
+            }
+        }
+        EdgeList { offsets, targets }
+    }
+
+    fn neighbors(&self, s: usize) -> &[u32] {
+        &self.targets[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Csr {
+    /// Forward controllable edges.
+    ctrl: EdgeList,
+    /// Reverse controllable edges (for the backward BFS).
+    ctrl_rev: EdgeList,
+    /// Forward exogenous edges (for the adversarial worst-case reply).
+    exo: EdgeList,
+}
+
+impl Csr {
+    fn build(controllable: &[Vec<usize>], exogenous: &[Vec<usize>]) -> Self {
+        assert!(
+            controllable.len() < u32::MAX as usize,
+            "state count exceeds CSR capacity"
+        );
+        Csr {
+            ctrl: EdgeList::forward(controllable),
+            ctrl_rev: EdgeList::reversed(controllable),
+            exo: EdgeList::forward(exogenous),
+        }
+    }
+}
+
+fn set_bit(bits: &mut [u64], i: usize) {
+    bits[i / 64] |= 1 << (i % 64);
+}
+
+fn clear_bit(bits: &mut [u64], i: usize) {
+    bits[i / 64] &= !(1 << (i % 64));
+}
+
+fn get_bit(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] >> (i % 64) & 1 == 1
+}
+
+/// Split `out` into `threads` contiguous chunks and fill each on its own
+/// thread. Chunk boundaries cannot affect the result — every element is a
+/// pure function of its index and shared read-only state — so the output
+/// is identical for any thread count.
+fn run_chunks<F>(out: &mut [usize], threads: usize, fill: F)
+where
+    F: Fn(usize, &mut [usize]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    if threads <= 1 {
+        fill(0, out);
+        return;
+    }
+    let chunk_len = out.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for (c, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            let fill = &fill;
+            scope.spawn(move || fill(c * chunk_len, chunk));
+        }
+    });
 }
 
 /// A memoryless repair policy: for each state, the controllable successor
@@ -107,6 +257,48 @@ impl MaintainabilityReport {
     }
 }
 
+/// Backward BFS from the normal states over the reverse edge list, with
+/// word-packed bitset frontiers. Returns raw `u32` levels (`UNSET` =
+/// unreachable).
+fn bfs_levels(n_states: usize, normal: &[bool], rev: &EdgeList) -> Vec<u32> {
+    let words = n_states.div_ceil(64);
+    let mut levels = vec![UNSET; n_states];
+    let mut frontier = vec![0u64; words];
+    let mut next = vec![0u64; words];
+    for (s, &is_normal) in normal.iter().enumerate() {
+        if is_normal {
+            levels[s] = 0;
+            set_bit(&mut frontier, s);
+        }
+    }
+    let mut depth: u32 = 0;
+    loop {
+        let mut any = false;
+        for (w, &word) in frontier.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let s = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                for &p in rev.neighbors(s) {
+                    let p = p as usize;
+                    if levels[p] == UNSET {
+                        levels[p] = depth + 1;
+                        set_bit(&mut next, p);
+                        any = true;
+                    }
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        depth += 1;
+        std::mem::swap(&mut frontier, &mut next);
+        next.fill(0);
+    }
+    levels
+}
+
 impl TransitionSystem {
     /// Empty system with `n_states` states, no moves, no normal states.
     pub fn new(n_states: usize) -> Self {
@@ -115,6 +307,7 @@ impl TransitionSystem {
             normal: vec![false; n_states],
             controllable: vec![Vec::new(); n_states],
             exogenous: vec![Vec::new(); n_states],
+            csr: OnceLock::new(),
         }
     }
 
@@ -150,6 +343,7 @@ impl TransitionSystem {
     pub fn add_controllable(&mut self, from: usize, to: usize) {
         assert!(from < self.n_states && to < self.n_states);
         self.controllable[from].push(to);
+        self.csr.take();
     }
 
     /// Add an exogenous (environment) move `from → to`.
@@ -160,6 +354,7 @@ impl TransitionSystem {
     pub fn add_exogenous(&mut self, from: usize, to: usize) {
         assert!(from < self.n_states && to < self.n_states);
         self.exogenous[from].push(to);
+        self.csr.take();
     }
 
     /// Controllable successors of `state`.
@@ -172,6 +367,64 @@ impl TransitionSystem {
         &self.exogenous[state]
     }
 
+    fn csr(&self) -> &Csr {
+        self.csr
+            .get_or_init(|| Csr::build(&self.controllable, &self.exogenous))
+    }
+
+    /// Canonical policy from computed levels: for each non-normal state
+    /// with level `L`, the first controllable successor in insertion order
+    /// at level `L - 1`. Order-free with respect to how the levels were
+    /// computed, so every analysis path yields the same policy.
+    fn policy_from_levels(&self, levels: &[Option<usize>]) -> MaintenancePolicy {
+        let mut action = vec![None; self.n_states];
+        for (s, slot) in action.iter_mut().enumerate() {
+            if self.normal[s] {
+                continue;
+            }
+            if let Some(l) = levels[s] {
+                *slot = self.controllable[s]
+                    .iter()
+                    .copied()
+                    .find(|&t| levels[t] == Some(l - 1));
+            }
+        }
+        MaintenancePolicy { action }
+    }
+
+    /// Canonical adversarial policy from converged values `v` and the
+    /// per-state worst-case reply values `worst`: the first controllable
+    /// successor in insertion order achieving the optimal `v[s] - 1`.
+    fn adversarial_policy(&self, v: &[usize], worst: &[usize]) -> MaintenancePolicy {
+        let mut action = vec![None; self.n_states];
+        for (s, slot) in action.iter_mut().enumerate() {
+            if self.normal[s] || v[s] >= INF {
+                continue;
+            }
+            let target = v[s] - 1;
+            *slot = self.controllable[s]
+                .iter()
+                .copied()
+                .find(|&t| worst[t] == target);
+        }
+        MaintenancePolicy { action }
+    }
+
+    /// Fill `worst[t] = max(v[t], max over exogenous replies u of v[u])`
+    /// for every state, chunked over `threads` threads.
+    fn worst_pass(csr: &Csr, v: &[usize], worst: &mut [usize], threads: usize) {
+        run_chunks(worst, threads, |start, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let t = start + i;
+                let mut w = v[t];
+                for &u in csr.exo.neighbors(t) {
+                    w = w.max(v[u as usize]);
+                }
+                *slot = w;
+            }
+        });
+    }
+
     /// Build the full `2^n`-state transition system of an `n`-bit DCSP:
     /// states are configurations (encoded as integers), controllable moves
     /// are single-bit flips, normal states are those satisfying `env`, and
@@ -181,52 +434,86 @@ impl TransitionSystem {
     /// # Panics
     ///
     /// Panics if `n_bits > 20` (the explicit state space would exceed ~1M
-    /// states).
+    /// states). Use [`analyze_bit_dcsp`] / [`analyze_bit_dcsp_adversarial`]
+    /// for larger spaces.
     pub fn from_bit_dcsp(n_bits: usize, env: &dyn Constraint, max_damage: usize) -> Self {
         assert!(n_bits <= 20, "explicit construction limited to 20 bits");
         let n_states = 1usize << n_bits;
         let mut ts = TransitionSystem::new(n_states);
+        let mut probe = Config::zeros(n_bits);
         for s in 0..n_states {
-            let cfg = Config::from_u64(s as u64, n_bits);
-            if env.is_fit(&cfg) {
+            probe.set_from_u64(s as u64);
+            if env.is_fit(&probe) {
                 ts.mark_normal(s);
             }
             for b in 0..n_bits {
                 ts.add_controllable(s, s ^ (1 << b));
             }
         }
-        // Exogenous damage: from each normal state, every ≤ max_damage flip.
+        // Exogenous damage: from each normal state, every ≤ max_damage
+        // flip. Dedup via a bitset reset per source through the `touched`
+        // list; discovery order (frontier order × bit order) is unchanged,
+        // so the edge lists are identical to a naive linear-scan dedup.
+        let words = n_states.div_ceil(64);
+        let mut seen = vec![0u64; words];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut frontier: Vec<usize> = Vec::new();
+        let mut next: Vec<usize> = Vec::new();
         for s in 0..n_states {
             if !ts.normal[s] {
                 continue;
             }
-            let mut frontier = vec![s];
-            let mut seen = vec![s];
+            frontier.clear();
+            frontier.push(s);
+            set_bit(&mut seen, s);
+            touched.push(s);
             for _ in 0..max_damage {
-                let mut next = Vec::new();
+                next.clear();
                 for &f in &frontier {
                     for b in 0..n_bits {
                         let t = f ^ (1 << b);
-                        if !seen.contains(&t) {
-                            seen.push(t);
+                        if !get_bit(&seen, t) {
+                            set_bit(&mut seen, t);
+                            touched.push(t);
                             next.push(t);
                             ts.add_exogenous(s, t);
                         }
                     }
                 }
-                frontier = next;
+                std::mem::swap(&mut frontier, &mut next);
             }
+            for &t in &touched {
+                clear_bit(&mut seen, t);
+            }
+            touched.clear();
         }
         ts
     }
 
     /// The paper's K-maintainability: backward BFS from the normal states
-    /// over reversed controllable edges. Runs in `O(states + edges)` — the
+    /// over reversed controllable edges, `O(states + edges)` — the
     /// polynomial-time construction the paper cites from Baral & Eiter.
+    /// Runs over the cached CSR with bitset frontiers; the report is
+    /// identical to [`TransitionSystem::analyze_reference`].
     pub fn analyze(&self) -> MaintainabilityReport {
+        let csr = self.csr();
+        let raw = bfs_levels(self.n_states, &self.normal, &csr.ctrl_rev);
+        let levels: Vec<Option<usize>> = raw
+            .into_iter()
+            .map(|l| (l != UNSET).then_some(l as usize))
+            .collect();
+        MaintainabilityReport {
+            policy: self.policy_from_levels(&levels),
+            levels,
+        }
+    }
+
+    /// Reference implementation of [`TransitionSystem::analyze`], retained
+    /// for differential testing: pointer-chasing `Vec<Vec<_>>` reverse
+    /// adjacency built per call and a FIFO BFS. Produces an identical
+    /// report to the CSR path.
+    pub fn analyze_reference(&self) -> MaintainabilityReport {
         let mut levels: Vec<Option<usize>> = vec![None; self.n_states];
-        let mut policy: Vec<Option<usize>> = vec![None; self.n_states];
-        // Reverse controllable adjacency.
         let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.n_states];
         for (from, tos) in self.controllable.iter().enumerate() {
             for &to in tos {
@@ -245,14 +532,13 @@ impl TransitionSystem {
             for &p in &rev[s] {
                 if levels[p].is_none() {
                     levels[p] = Some(next_level);
-                    policy[p] = Some(s);
                     queue.push_back(p);
                 }
             }
         }
         MaintainabilityReport {
+            policy: self.policy_from_levels(&levels),
             levels,
-            policy: MaintenancePolicy { action: policy },
         }
     }
 
@@ -261,11 +547,76 @@ impl TransitionSystem {
     /// stay). `levels[s]` is the worst-case number of administrator steps
     /// needed; computed by value iteration on the min-max recurrence
     /// `V(s) = 1 + min_a max_{u ∈ {t_a} ∪ exo(t_a)} V(u)`, `V = 0` on
-    /// normal states.
+    /// normal states. Single-threaded; see
+    /// [`TransitionSystem::analyze_adversarial_threads`].
     pub fn analyze_adversarial(&self) -> MaintainabilityReport {
-        const INF: usize = usize::MAX / 4;
+        self.analyze_adversarial_threads(1)
+    }
+
+    /// [`TransitionSystem::analyze_adversarial`] with the min-max fixed
+    /// point parallelized by state-range sweeps. Each Jacobi sweep reads a
+    /// snapshot `v_prev` and writes `v_next`, so every element is a pure
+    /// function of the previous sweep and the output is identical for any
+    /// `threads` (and identical to the Gauss-Seidel
+    /// [`TransitionSystem::analyze_adversarial_reference`]: both iterate a
+    /// monotone operator down from ⊤ to the same greatest fixed point, and
+    /// finite values — all `≤ n_states` — settle within `n_states` sweeps).
+    pub fn analyze_adversarial_threads(&self, threads: usize) -> MaintainabilityReport {
+        let threads = threads.max(1);
+        let csr = self.csr();
         let mut v = vec![INF; self.n_states];
-        let mut policy: Vec<Option<usize>> = vec![None; self.n_states];
+        for (s, value) in v.iter_mut().enumerate() {
+            if self.normal[s] {
+                *value = 0;
+            }
+        }
+        let mut v_next = v.clone();
+        let mut worst = vec![INF; self.n_states];
+        for _ in 0..self.n_states {
+            Self::worst_pass(csr, &v, &mut worst, threads);
+            {
+                let (v_ref, worst_ref, normal) = (&v, &worst, &self.normal);
+                run_chunks(&mut v_next, threads, |start, chunk| {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        let s = start + i;
+                        *slot = if normal[s] {
+                            0
+                        } else {
+                            let mut best = INF;
+                            for &t in csr.ctrl.neighbors(s) {
+                                best = best.min(worst_ref[t as usize]);
+                            }
+                            if best >= INF {
+                                v_ref[s]
+                            } else {
+                                v_ref[s].min(best + 1)
+                            }
+                        };
+                    }
+                });
+            }
+            let changed = v_next != v;
+            std::mem::swap(&mut v, &mut v_next);
+            if !changed {
+                break;
+            }
+        }
+        // Recompute the replies from the converged values for the policy.
+        Self::worst_pass(csr, &v, &mut worst, threads);
+        let policy = self.adversarial_policy(&v, &worst);
+        let levels = v
+            .into_iter()
+            .map(|x| if x >= INF { None } else { Some(x) })
+            .collect();
+        MaintainabilityReport { levels, policy }
+    }
+
+    /// Reference implementation of
+    /// [`TransitionSystem::analyze_adversarial`], retained for differential
+    /// testing: in-place Gauss-Seidel value iteration over the raw
+    /// adjacency lists. Produces an identical report to the Jacobi path.
+    pub fn analyze_adversarial_reference(&self) -> MaintainabilityReport {
+        let mut v = vec![INF; self.n_states];
         for (s, value) in v.iter_mut().enumerate() {
             if self.normal[s] {
                 *value = 0;
@@ -280,22 +631,17 @@ impl TransitionSystem {
                     continue;
                 }
                 let mut best = INF;
-                let mut best_to = None;
                 for &t in &self.controllable[s] {
                     // Worst case over the environment's reply.
                     let mut worst = v[t];
                     for &u in &self.exogenous[t] {
                         worst = worst.max(v[u]);
                     }
-                    if worst < best {
-                        best = worst;
-                        best_to = Some(t);
-                    }
+                    best = best.min(worst);
                 }
                 let candidate = if best >= INF { INF } else { best + 1 };
                 if candidate < v[s] {
                     v[s] = candidate;
-                    policy[s] = best_to;
                     changed = true;
                 }
             }
@@ -303,21 +649,211 @@ impl TransitionSystem {
                 break;
             }
         }
+        let mut worst = vec![INF; self.n_states];
+        Self::worst_pass(self.csr(), &v, &mut worst, 1);
+        let policy = self.adversarial_policy(&v, &worst);
         let levels = v
             .into_iter()
             .map(|x| if x >= INF { None } else { Some(x) })
             .collect();
-        MaintainabilityReport {
-            levels,
-            policy: MaintenancePolicy { action: policy },
+        MaintainabilityReport { levels, policy }
+    }
+}
+
+/// Evaluate `env` on every state of an `n`-bit space into a bitset.
+fn normal_bitset(n_bits: usize, env: &dyn Constraint) -> Vec<u64> {
+    let n_states = 1usize << n_bits;
+    let mut normal = vec![0u64; n_states.div_ceil(64)];
+    let mut probe = Config::zeros(n_bits);
+    for s in 0..n_states {
+        probe.set_from_u64(s as u64);
+        if env.is_fit(&probe) {
+            set_bit(&mut normal, s);
         }
+    }
+    normal
+}
+
+/// K-maintainability of an `n`-bit DCSP without materializing the
+/// transition system: states are configurations, controllable moves are
+/// single-bit flips (involutions, so the backward BFS walks forward
+/// neighbors), and normal states are those satisfying `env`. Produces a
+/// report identical to
+/// `TransitionSystem::from_bit_dcsp(n_bits, env, _).analyze()` while
+/// scaling past `2^20` states (the quiet analysis ignores exogenous edges,
+/// so no damage bound is taken).
+///
+/// # Panics
+///
+/// Panics if `n_bits > 24` (the level array for `2^24` states already
+/// costs ~256 MiB).
+pub fn analyze_bit_dcsp(n_bits: usize, env: &dyn Constraint) -> MaintainabilityReport {
+    assert!(n_bits <= 24, "implicit construction limited to 24 bits");
+    let n_states = 1usize << n_bits;
+    let words = n_states.div_ceil(64);
+    let normal = normal_bitset(n_bits, env);
+    let mut levels = vec![UNSET; n_states];
+    let mut frontier = normal.clone();
+    let mut next = vec![0u64; words];
+    for (w, &word) in normal.iter().enumerate() {
+        let mut word = word;
+        while word != 0 {
+            let s = w * 64 + word.trailing_zeros() as usize;
+            word &= word - 1;
+            levels[s] = 0;
+        }
+    }
+    let mut depth: u32 = 0;
+    loop {
+        let mut any = false;
+        for (w, &word) in frontier.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let s = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                for b in 0..n_bits {
+                    let p = s ^ (1 << b);
+                    if levels[p] == UNSET {
+                        levels[p] = depth + 1;
+                        set_bit(&mut next, p);
+                        any = true;
+                    }
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        depth += 1;
+        std::mem::swap(&mut frontier, &mut next);
+        next.fill(0);
+    }
+    let mut action = vec![None; n_states];
+    for (s, slot) in action.iter_mut().enumerate() {
+        if get_bit(&normal, s) || levels[s] == UNSET {
+            continue;
+        }
+        let l = levels[s];
+        *slot = (0..n_bits)
+            .map(|b| s ^ (1 << b))
+            .find(|&t| levels[t] + 1 == l);
+    }
+    MaintainabilityReport {
+        levels: levels
+            .into_iter()
+            .map(|l| (l != UNSET).then_some(l as usize))
+            .collect(),
+        policy: MaintenancePolicy { action },
+    }
+}
+
+/// Adversarial K-maintainability of an `n`-bit DCSP with on-the-fly move
+/// generation: controllable moves are single-bit flips; from every
+/// *normal* state the environment may damage up to `max_damage` bits (the
+/// same shock model as [`TransitionSystem::from_bit_dcsp`]). The min-max
+/// fixed point runs as thread-chunked Jacobi sweeps; output is identical
+/// for any `threads` and to
+/// `TransitionSystem::from_bit_dcsp(n_bits, env, max_damage)
+///     .analyze_adversarial()`.
+///
+/// # Panics
+///
+/// Panics if `n_bits > 24`.
+pub fn analyze_bit_dcsp_adversarial(
+    n_bits: usize,
+    env: &dyn Constraint,
+    max_damage: usize,
+    threads: usize,
+) -> MaintainabilityReport {
+    assert!(n_bits <= 24, "implicit construction limited to 24 bits");
+    let threads = threads.max(1);
+    let n_states = 1usize << n_bits;
+    let normal = normal_bitset(n_bits, env);
+    // All damage patterns as XOR masks (order irrelevant: only the max
+    // over the ball is taken).
+    let masks: Vec<usize> = (1..n_states)
+        .filter(|m| (m.count_ones() as usize) <= max_damage)
+        .collect();
+    let mut v = vec![INF; n_states];
+    for (s, value) in v.iter_mut().enumerate() {
+        if get_bit(&normal, s) {
+            *value = 0;
+        }
+    }
+    let mut v_next = v.clone();
+    let mut worst = vec![INF; n_states];
+    let worst_pass = |v: &[usize], worst: &mut [usize]| {
+        run_chunks(worst, threads, |start, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let t = start + i;
+                *slot = if get_bit(&normal, t) {
+                    // v[t] = 0; the environment picks the worst state in
+                    // the damage ball around t.
+                    let mut w = 0;
+                    for &m in &masks {
+                        w = w.max(v[t ^ m]);
+                    }
+                    w
+                } else {
+                    v[t]
+                };
+            }
+        });
+    };
+    for _ in 0..n_states {
+        worst_pass(&v, &mut worst);
+        {
+            let (v_ref, worst_ref, normal) = (&v, &worst, &normal);
+            run_chunks(&mut v_next, threads, |start, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let s = start + i;
+                    *slot = if get_bit(normal, s) {
+                        0
+                    } else {
+                        let mut best = INF;
+                        for b in 0..n_bits {
+                            best = best.min(worst_ref[s ^ (1 << b)]);
+                        }
+                        if best >= INF {
+                            v_ref[s]
+                        } else {
+                            v_ref[s].min(best + 1)
+                        }
+                    };
+                }
+            });
+        }
+        let changed = v_next != v;
+        std::mem::swap(&mut v, &mut v_next);
+        if !changed {
+            break;
+        }
+    }
+    worst_pass(&v, &mut worst);
+    let mut action = vec![None; n_states];
+    for (s, slot) in action.iter_mut().enumerate() {
+        if get_bit(&normal, s) || v[s] >= INF {
+            continue;
+        }
+        let target = v[s] - 1;
+        *slot = (0..n_bits)
+            .map(|b| s ^ (1 << b))
+            .find(|&t| worst[t] == target);
+    }
+    MaintainabilityReport {
+        levels: v
+            .into_iter()
+            .map(|x| if x >= INF { None } else { Some(x) })
+            .collect(),
+        policy: MaintenancePolicy { action },
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use resilience_core::{AllOnes, AtLeastOnes};
+    use rand::Rng;
+    use resilience_core::{seeded_rng, AllOnes, AtLeastOnes};
 
     /// A 4-state chain: 3 → 2 → 1 → 0(normal), controllable steps.
     fn chain() -> TransitionSystem {
@@ -468,5 +1004,95 @@ mod tests {
         assert!(ts.is_empty());
         let report = ts.analyze();
         assert_eq!(report.min_k(), Some(0));
+        assert_eq!(ts.analyze_adversarial().min_k(), Some(0));
+    }
+
+    /// Seeded random system: sparse normal set, random controllable and
+    /// exogenous edges (duplicates and self-loops allowed on purpose).
+    fn random_system(seed: u64, n: usize) -> TransitionSystem {
+        let mut rng = seeded_rng(seed);
+        let mut ts = TransitionSystem::new(n);
+        for s in 0..n {
+            if rng.gen_bool(0.2) {
+                ts.mark_normal(s);
+            }
+        }
+        for _ in 0..n * 3 {
+            ts.add_controllable(rng.gen_range(0..n), rng.gen_range(0..n));
+            if rng.gen_bool(0.5) {
+                ts.add_exogenous(rng.gen_range(0..n), rng.gen_range(0..n));
+            }
+        }
+        ts
+    }
+
+    #[test]
+    fn csr_analyze_matches_reference_on_random_systems() {
+        for seed in 0..20 {
+            let ts = random_system(seed, 30 + (seed as usize % 17));
+            assert_eq!(ts.analyze(), ts.analyze_reference(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn adversarial_matches_reference_and_is_thread_invariant() {
+        for seed in 0..12 {
+            let ts = random_system(100 + seed, 40);
+            let new = ts.analyze_adversarial();
+            assert_eq!(new, ts.analyze_adversarial_reference(), "seed {seed}");
+            for threads in [2, 4, 7] {
+                assert_eq!(
+                    new,
+                    ts.analyze_adversarial_threads(threads),
+                    "seed {seed} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_mutation_invalidates_cached_csr() {
+        let mut ts = TransitionSystem::new(3);
+        ts.mark_normal(0);
+        assert_eq!(ts.analyze().levels[2], None);
+        ts.add_controllable(2, 0);
+        let after = ts.analyze();
+        assert_eq!(after.levels[2], Some(1));
+        assert_eq!(after.policy.next_state(2), Some(0));
+        // The environment undoing the repair flips the adversarial answer.
+        assert_eq!(ts.analyze_adversarial().levels[2], Some(1));
+        ts.add_exogenous(0, 2);
+        assert_eq!(ts.analyze_adversarial().levels[2], None);
+    }
+
+    #[test]
+    fn implicit_bit_dcsp_matches_explicit() {
+        for (n, need, d) in [(5, 3, 1), (6, 4, 2), (4, 4, 2)] {
+            let env = AtLeastOnes::new(n, need);
+            let ts = TransitionSystem::from_bit_dcsp(n, &env, d);
+            assert_eq!(
+                analyze_bit_dcsp(n, &env),
+                ts.analyze(),
+                "plain n={n} need={need}"
+            );
+            let adv = ts.analyze_adversarial();
+            assert_eq!(
+                analyze_bit_dcsp_adversarial(n, &env, d, 1),
+                adv,
+                "adversarial n={n} need={need} d={d}"
+            );
+            assert_eq!(
+                analyze_bit_dcsp_adversarial(n, &env, d, 4),
+                adv,
+                "threaded adversarial n={n} need={need} d={d}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "24 bits")]
+    fn implicit_rejects_huge_spaces() {
+        let env = AllOnes::new(30);
+        let _ = analyze_bit_dcsp(30, &env);
     }
 }

@@ -3,13 +3,34 @@
 //! "If the system can fix its configuration for any perturbations of type D
 //! within k-steps, we call the system k-recoverable."
 //!
-//! Two checkers are provided: an exhaustive one that enumerates *every*
-//! perturbation the shock type can produce (exact, exponential in the
-//! damage bound), and a Monte-Carlo one for larger systems.
+//! Three checkers are provided:
+//!
+//! * [`is_k_recoverable_exhaustive`] — exact enumeration of *every*
+//!   perturbation of at most `max_damage` bit flips, accelerated by a
+//!   transposition cache over repair outcomes and allocation-free
+//!   incremental damage enumeration (see the verification-engine section
+//!   of DESIGN.md). Falls back to the plain sequential walk for
+//!   non-deterministic strategies.
+//! * [`is_k_recoverable_exhaustive_parallel`] — the same check fanned out
+//!   over a [`RunContext`]'s thread budget: the damage-pattern space is
+//!   split into contiguous *rank ranges* by combinatorial unranking, each
+//!   range is verified independently, and the partial reports are folded
+//!   in rank order — so the report (including the counterexample, which
+//!   is always the lowest-ranked failure) is bit-identical for any thread
+//!   count.
+//! * [`sampled_recoverability`] — Monte-Carlo estimate for systems too
+//!   large to enumerate.
+//!
+//! [`recoverability_reference`] retains the original clone-per-case
+//! recursive checker as the oracle the optimized engine is proven
+//! against (see `tests/verification_equivalence.rs`).
+
+use std::collections::HashMap;
+use std::ops::Range;
 
 use rand::Rng;
 
-use resilience_core::{Config, Constraint, ShockKind};
+use resilience_core::{Config, Constraint, RunContext, ShockKind};
 
 use crate::repair::RepairStrategy;
 
@@ -43,6 +64,16 @@ impl RecoverabilityReport {
             self.recovered_within_k as f64 / self.cases as f64
         }
     }
+
+    fn empty(k: usize) -> Self {
+        RecoverabilityReport {
+            k,
+            cases: 0,
+            recovered_within_k: 0,
+            worst_steps: 0,
+            counterexample: None,
+        }
+    }
 }
 
 /// Exhaustively check k-recoverability of `start` under `env` against all
@@ -52,6 +83,11 @@ impl RecoverabilityReport {
 /// The paper's side condition is honored: "once the spacecraft has
 /// component failures at time t, it will not have another component failure
 /// until time t + k" — i.e. repair runs shock-free.
+///
+/// For deterministic strategies (see
+/// [`RepairStrategy::is_deterministic`]) the check runs on the memoized
+/// engine; the report is identical to [`recoverability_reference`], just
+/// faster. Non-deterministic strategies use the reference walk directly.
 ///
 /// # Panics
 ///
@@ -68,15 +104,95 @@ pub fn is_k_recoverable_exhaustive<S: RepairStrategy + ?Sized>(
         env.is_fit(start),
         "k-recoverability is checked from a fit configuration"
     );
+    if !strategy.is_deterministic() {
+        return reference_inner(start, env, strategy, max_damage, k);
+    }
+    let n = start.len();
+    let counts = SubsetCounts::new(n, max_damage.min(n));
+    let total = counts.total_nonempty();
+    let partial = check_rank_range(0..total, start, env, strategy, k, &counts);
+    finalize(k, total, partial)
+}
+
+/// [`is_k_recoverable_exhaustive`] on `ctx`'s thread budget: the rank
+/// space of damage patterns is partitioned into contiguous chunks, chunks
+/// are verified on worker threads, and the partial reports are folded in
+/// rank order. The output is bit-identical to the sequential check for
+/// every thread count (each case's verdict is exact, sums and maxima are
+/// order-free, and the surviving counterexample is the lowest-ranked
+/// failure under any partition).
+///
+/// Non-deterministic strategies cannot be checked out of order (their
+/// proposals depend on global call order), so they fall back to the
+/// sequential [`recoverability_reference`] walk regardless of `ctx`.
+///
+/// # Panics
+///
+/// Panics if `start` does not satisfy `env`.
+pub fn is_k_recoverable_exhaustive_parallel<S: RepairStrategy + ?Sized>(
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    max_damage: usize,
+    k: usize,
+    ctx: &RunContext,
+) -> RecoverabilityReport {
+    assert!(
+        env.is_fit(start),
+        "k-recoverability is checked from a fit configuration"
+    );
+    if !strategy.is_deterministic() {
+        return reference_inner(start, env, strategy, max_damage, k);
+    }
+    let n = start.len();
+    let counts = SubsetCounts::new(n, max_damage.min(n));
+    let total = counts.total_nonempty();
+    // Aim for several chunks per worker so uneven repair costs still
+    // load-balance; chunk boundaries never affect the folded report.
+    let chunk = (total / (ctx.threads() as u64 * 8)).clamp(1, total.max(1));
+    let partial = ctx.run_ranges(
+        total,
+        chunk,
+        |r| check_rank_range(r, start, env, strategy, k, &counts),
+        Partial::default(),
+        Partial::merge,
+    );
+    finalize(k, total, partial)
+}
+
+/// The original unmemoized sequential checker, retained verbatim as the
+/// reference oracle for the optimized engine: recursive subset
+/// enumeration, one `Config` clone per case, one full repair walk per
+/// case. Reports are identical to [`is_k_recoverable_exhaustive`]; only
+/// the running time differs.
+///
+/// # Panics
+///
+/// Panics if `start` does not satisfy `env`.
+pub fn recoverability_reference<S: RepairStrategy + ?Sized>(
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    max_damage: usize,
+    k: usize,
+) -> RecoverabilityReport {
+    assert!(
+        env.is_fit(start),
+        "k-recoverability is checked from a fit configuration"
+    );
+    reference_inner(start, env, strategy, max_damage, k)
+}
+
+fn reference_inner<S: RepairStrategy + ?Sized>(
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    max_damage: usize,
+    k: usize,
+) -> RecoverabilityReport {
     let n = start.len();
     let max_damage = max_damage.min(n);
-    let mut report = RecoverabilityReport {
-        k,
-        cases: 0,
-        recovered_within_k: 0,
-        worst_steps: 0,
-        counterexample: None,
-    };
+    let mut report = RecoverabilityReport::empty(k);
     let mut subset: Vec<usize> = Vec::new();
     enumerate_subsets(n, max_damage, 0, &mut subset, &mut |damage: &[usize]| {
         let mut state = start.clone();
@@ -120,13 +236,7 @@ pub fn sampled_recoverability<S: RepairStrategy + ?Sized, R: Rng + ?Sized>(
         env.is_fit(start),
         "k-recoverability is checked from a fit configuration"
     );
-    let mut report = RecoverabilityReport {
-        k,
-        cases: 0,
-        recovered_within_k: 0,
-        worst_steps: 0,
-        counterexample: None,
-    };
+    let mut report = RecoverabilityReport::empty(k);
     for _ in 0..trials {
         let mut state = start.clone();
         let shock = kind.strike(&mut state, rng);
@@ -171,7 +281,10 @@ fn run_repair<S: RepairStrategy + ?Sized>(
     Some(steps)
 }
 
-/// Visit every non-empty subset of `{0..n}` of size ≤ `max_size`.
+/// Visit every non-empty subset of `{0..n}` of size ≤ `max_size`, in
+/// DFS preorder (each subset before its extensions, extensions in
+/// ascending next-element order). This order defines the *rank* of a
+/// damage pattern used by the unranking engine below.
 fn enumerate_subsets<F: FnMut(&[usize])>(
     n: usize,
     max_size: usize,
@@ -192,10 +305,392 @@ fn enumerate_subsets<F: FnMut(&[usize])>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// The verification engine: combinatorial unranking + transposition cache.
+// ---------------------------------------------------------------------------
+
+/// Sentinel for "repair distance exceeds `k` (or the strategy is stuck)".
+const UNRECOVERABLE: u32 = u32::MAX;
+
+/// Configurations this small get a direct-mapped `Vec<u32>` transposition
+/// table (2^n entries); larger ones use a `HashMap`.
+const DIRECT_TABLE_BITS: usize = 20;
+
+/// Subset-count table: `upto[m][c]` = number of subsets of size ≤ `c`
+/// drawn from `m` elements (including the empty subset). This is exactly
+/// the size of the enumeration subtree rooted at a node with `m`
+/// remaining candidate elements and `c` remaining size budget, which is
+/// what unranking needs.
+struct SubsetCounts {
+    n: usize,
+    max_size: usize,
+    /// `upto[m * (max_size + 1) + c]`, m in `0..=n`, c in `0..=max_size`.
+    upto: Vec<u64>,
+}
+
+impl SubsetCounts {
+    fn new(n: usize, max_size: usize) -> Self {
+        let width = max_size + 1;
+        let mut upto = vec![0u64; (n + 1) * width];
+        for m in 0..=n {
+            upto[m * width] = 1; // only the empty subset at budget 0
+        }
+        for slot in upto.iter_mut().take(width) {
+            *slot = 1; // no elements left: only the empty subset
+        }
+        for m in 1..=n {
+            for c in 1..=max_size {
+                // Exclude the first remaining element, or include it.
+                let excl = upto[(m - 1) * width + c];
+                let incl = upto[(m - 1) * width + c - 1];
+                upto[m * width + c] = excl.saturating_add(incl);
+            }
+        }
+        let counts = SubsetCounts { n, max_size, upto };
+        assert!(
+            counts.upto(n, max_size) < u64::MAX,
+            "damage-pattern space exceeds the u64 rank space"
+        );
+        counts
+    }
+
+    /// Subsets of size ≤ `c` from `m` elements, including the empty one.
+    fn upto(&self, m: usize, c: usize) -> u64 {
+        self.upto[m * (self.max_size + 1) + c]
+    }
+
+    /// Number of non-empty subsets of `{0..n}` of size ≤ `max_size` —
+    /// the total case count of the exhaustive check.
+    fn total_nonempty(&self) -> u64 {
+        self.upto(self.n, self.max_size) - 1
+    }
+
+    /// Size of the enumeration subtree rooted at a node whose last chosen
+    /// element is `j` at depth `depth` (the node itself plus all of its
+    /// extensions).
+    fn subtree(&self, j: usize, depth: usize) -> u64 {
+        self.upto(self.n - 1 - j, self.max_size - depth)
+    }
+
+    /// Materialize the subset of preorder rank `rank` (0-based over
+    /// non-empty subsets) into `subset`, flipping each chosen bit into
+    /// `damaged` as it is appended.
+    fn unrank_into(&self, rank: u64, subset: &mut Vec<usize>, damaged: &mut Config) {
+        debug_assert!(rank < self.total_nonempty());
+        subset.clear();
+        let mut r = rank;
+        let mut start = 0;
+        loop {
+            let depth = subset.len();
+            debug_assert!(depth < self.max_size);
+            for j in start.. {
+                debug_assert!(j < self.n);
+                let t = self.subtree(j, depth + 1);
+                if r < t {
+                    subset.push(j);
+                    damaged.flip(j);
+                    if r == 0 {
+                        return;
+                    }
+                    r -= 1; // skip the node itself; descend into its extensions
+                    start = j + 1;
+                    break;
+                }
+                r -= t;
+            }
+        }
+    }
+
+    /// Step `subset` to its preorder predecessor, mirroring the flips into
+    /// `damaged`. The caller guarantees the subset has rank ≥ 1.
+    fn predecessor(&self, subset: &mut Vec<usize>, damaged: &mut Config) {
+        let last = *subset.last().expect("predecessor of a non-empty subset");
+        let prev_plus_one = subset.len().checked_sub(2).map_or(0, |i| subset[i] + 1);
+        if last == prev_plus_one {
+            // First child of its parent: the predecessor is the parent.
+            subset.pop();
+            damaged.flip(last);
+            debug_assert!(!subset.is_empty(), "rank 0 has no predecessor");
+        } else {
+            // Last (deepest, rightmost) descendant of the previous sibling.
+            subset.pop();
+            damaged.flip(last);
+            subset.push(last - 1);
+            damaged.flip(last - 1);
+            if subset.len() < self.max_size {
+                subset.push(self.n - 1);
+                damaged.flip(self.n - 1);
+            }
+        }
+    }
+}
+
+/// Key into the transposition cache: configurations up to 64 bits pack
+/// losslessly into a word; longer ones are keyed by the full `Config`.
+enum MemoKey {
+    Packed(u64),
+    Wide(Config),
+}
+
+/// Per-range transposition cache memoizing, for each damaged
+/// configuration, the exact strategy-path repair distance when it is
+/// ≤ `k`, or [`UNRECOVERABLE`] when the walk provably exceeds the budget
+/// (or the strategy is stuck). Exactness is what makes the engine's
+/// verdicts independent of evaluation order and thread schedule.
+enum Memo {
+    /// Direct-mapped table for ≤ [`DIRECT_TABLE_BITS`]-bit configurations:
+    /// entry 0 = unset, 1 = unrecoverable, `d + 2` = distance `d`.
+    Table(Vec<u32>),
+    /// Word-keyed map for ≤ 64-bit configurations.
+    Small(HashMap<u64, u32>),
+    /// Full-configuration keys beyond 64 bits.
+    Big(HashMap<Config, u32>),
+}
+
+impl Memo {
+    fn for_len(n: usize) -> Self {
+        if n <= DIRECT_TABLE_BITS {
+            Memo::Table(vec![0; 1usize << n])
+        } else if n <= 64 {
+            Memo::Small(HashMap::new())
+        } else {
+            Memo::Big(HashMap::new())
+        }
+    }
+
+    fn key(&self, cfg: &Config) -> MemoKey {
+        match self {
+            Memo::Table(_) | Memo::Small(_) => MemoKey::Packed(cfg.to_u64()),
+            Memo::Big(_) => MemoKey::Wide(cfg.clone()),
+        }
+    }
+
+    fn get(&self, key: &MemoKey) -> Option<u32> {
+        match (self, key) {
+            (Memo::Table(t), MemoKey::Packed(w)) => match t[*w as usize] {
+                0 => None,
+                1 => Some(UNRECOVERABLE),
+                v => Some(v - 2),
+            },
+            (Memo::Small(m), MemoKey::Packed(w)) => m.get(w).copied(),
+            (Memo::Big(m), MemoKey::Wide(c)) => m.get(c).copied(),
+            _ => unreachable!("memo key variant matches memo variant"),
+        }
+    }
+
+    fn insert(&mut self, key: MemoKey, value: u32) {
+        match (self, key) {
+            (Memo::Table(t), MemoKey::Packed(w)) => {
+                t[w as usize] = if value == UNRECOVERABLE { 1 } else { value + 2 };
+            }
+            (Memo::Small(m), MemoKey::Packed(w)) => {
+                m.insert(w, value);
+            }
+            (Memo::Big(m), MemoKey::Wide(c)) => {
+                m.insert(c, value);
+            }
+            _ => unreachable!("memo key variant matches memo variant"),
+        }
+    }
+}
+
+/// Partial report of one contiguous rank range.
+#[derive(Debug, Default)]
+struct Partial {
+    recovered: u64,
+    worst_steps: usize,
+    any_failure: bool,
+    /// Lowest-ranked failing damage pattern in this range, if any.
+    counterexample: Option<Vec<usize>>,
+}
+
+impl Partial {
+    /// Fold `next` (a later rank range) into `acc`.
+    fn merge(mut acc: Partial, next: Partial) -> Partial {
+        acc.recovered += next.recovered;
+        acc.worst_steps = acc.worst_steps.max(next.worst_steps);
+        acc.any_failure |= next.any_failure;
+        if acc.counterexample.is_none() {
+            acc.counterexample = next.counterexample;
+        }
+        acc
+    }
+}
+
+fn finalize(k: usize, total: u64, partial: Partial) -> RecoverabilityReport {
+    RecoverabilityReport {
+        k,
+        cases: usize::try_from(total).expect("case count fits usize"),
+        recovered_within_k: usize::try_from(partial.recovered).expect("count fits usize"),
+        worst_steps: partial.worst_steps,
+        counterexample: partial.counterexample,
+    }
+}
+
+/// Verify every damage pattern with rank in `range`.
+///
+/// Cases are *evaluated* highest rank first — preorder places a pattern
+/// before its extensions, so walking backwards means a repair trajectory
+/// usually lands on an already-cached sub-pattern after a single step —
+/// but the *report* is independent of evaluation order: counts and maxima
+/// are order-free, and the counterexample kept is the lowest-ranked
+/// failure (the last one seen when iterating backwards), matching the
+/// forward-enumerating reference checker exactly.
+fn check_rank_range<S: RepairStrategy + ?Sized>(
+    range: Range<u64>,
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    k: usize,
+    counts: &SubsetCounts,
+) -> Partial {
+    let mut partial = Partial::default();
+    if range.is_empty() {
+        return partial;
+    }
+    let mut memo = Memo::for_len(start.len());
+    let mut subset: Vec<usize> = Vec::with_capacity(counts.max_size);
+    let mut damaged = start.clone();
+    let mut scratch = start.clone();
+    let mut path: Vec<MemoKey> = Vec::with_capacity(k + 2);
+    counts.unrank_into(range.end - 1, &mut subset, &mut damaged);
+    let mut rank = range.end - 1;
+    loop {
+        match eval_case(
+            &damaged,
+            env,
+            strategy,
+            k,
+            &mut memo,
+            &mut scratch,
+            &mut path,
+        ) {
+            Some(steps) => {
+                partial.recovered += 1;
+                partial.worst_steps = partial.worst_steps.max(steps);
+            }
+            None => {
+                partial.worst_steps = partial.worst_steps.max(k);
+                partial.any_failure = true;
+                // Iterating backwards: the last failure seen is the
+                // lowest-ranked one in the range.
+                partial.counterexample = Some(subset.clone());
+            }
+        }
+        if rank == range.start {
+            break;
+        }
+        counts.predecessor(&mut subset, &mut damaged);
+        rank -= 1;
+    }
+    partial
+}
+
+/// Repair-walk one damaged configuration through the transposition cache.
+/// Equivalent to `run_repair` on a clone of `damaged` for a deterministic
+/// strategy: the walk is the strategy's unique trajectory, so every state
+/// on it has an exact distance-to-fit that can be cached and reused by
+/// later cases passing through the same states.
+fn eval_case<S: RepairStrategy + ?Sized>(
+    damaged: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    k: usize,
+    memo: &mut Memo,
+    scratch: &mut Config,
+    path: &mut Vec<MemoKey>,
+) -> Option<usize> {
+    let start_key = memo.key(damaged);
+    if let Some(v) = memo.get(&start_key) {
+        return (v != UNRECOVERABLE).then_some(v as usize);
+    }
+    scratch.clone_from(damaged);
+    path.clear();
+    path.push(start_key);
+    let mut steps = 0usize;
+    enum Outcome {
+        Fit(usize),
+        Stuck,
+        Budget,
+        /// Hit a cached state after `.0` steps with cached value `.1`.
+        Known(usize, u32),
+    }
+    let outcome = loop {
+        if env.is_fit(scratch) {
+            break Outcome::Fit(steps);
+        }
+        if steps >= k {
+            break Outcome::Budget;
+        }
+        match strategy.propose_flip(scratch, env) {
+            Some(bit) => {
+                scratch.flip(bit);
+                steps += 1;
+                let key = memo.key(scratch);
+                if let Some(v) = memo.get(&key) {
+                    break Outcome::Known(steps, v);
+                }
+                path.push(key);
+            }
+            None => break Outcome::Stuck,
+        }
+    };
+    match outcome {
+        Outcome::Fit(s) => {
+            // path holds states at distances s, s-1, …, 0 — all ≤ k.
+            for (j, key) in path.drain(..).enumerate() {
+                memo.insert(key, (s - j) as u32);
+            }
+            Some(s)
+        }
+        Outcome::Stuck => {
+            // The strategy's trajectory from every path state dead-ends.
+            for key in path.drain(..) {
+                memo.insert(key, UNRECOVERABLE);
+            }
+            None
+        }
+        Outcome::Budget => {
+            // Walked k steps without reaching fitness: only the origin is
+            // proven over budget (an intermediate state at index j has
+            // only walked k - j steps).
+            let origin = path.drain(..).next().expect("path holds the origin");
+            memo.insert(origin, UNRECOVERABLE);
+            None
+        }
+        Outcome::Known(s, v) => {
+            if v == UNRECOVERABLE {
+                // Cached distance exceeds k, so every state upstream of it
+                // on this walk exceeds k too.
+                for key in path.drain(..) {
+                    memo.insert(key, UNRECOVERABLE);
+                }
+                None
+            } else {
+                // Exact distances: path state j sits s - j steps before a
+                // state at distance v.
+                let total = s + v as usize;
+                for (j, key) in path.drain(..).enumerate() {
+                    let dist = total - j;
+                    memo.insert(
+                        key,
+                        if dist <= k {
+                            dist as u32
+                        } else {
+                            UNRECOVERABLE
+                        },
+                    );
+                }
+                (total <= k).then_some(total)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::repair::{BfsRepair, GreedyRepair};
+    use crate::repair::{AnnealRepair, BfsRepair, GreedyRepair};
     use resilience_core::{seeded_rng, AllOnes, AtLeastOnes, ExplicitSet};
 
     #[test]
@@ -275,6 +770,132 @@ mod tests {
         let env = AllOnes::new(4);
         let start = Config::zeros(4);
         let _ = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit configuration")]
+    fn parallel_rejects_unfit_start() {
+        let env = AllOnes::new(4);
+        let start = Config::zeros(4);
+        let _ = is_k_recoverable_exhaustive_parallel(
+            &start,
+            &env,
+            &GreedyRepair::new(),
+            1,
+            1,
+            &RunContext::new(0),
+        );
+    }
+
+    #[test]
+    fn unranking_matches_recursive_enumeration_order() {
+        for (n, d) in [(1usize, 1usize), (3, 2), (5, 3), (6, 6), (7, 2), (8, 4)] {
+            let mut expected: Vec<Vec<usize>> = Vec::new();
+            let mut cur = Vec::new();
+            enumerate_subsets(n, d, 0, &mut cur, &mut |s: &[usize]| {
+                expected.push(s.to_vec());
+            });
+            let counts = SubsetCounts::new(n, d);
+            assert_eq!(
+                counts.total_nonempty(),
+                expected.len() as u64,
+                "n={n} d={d}"
+            );
+            // Every rank unranks to the recursive enumeration's subset.
+            let base = Config::zeros(n);
+            for (rank, want) in expected.iter().enumerate() {
+                let mut subset = Vec::new();
+                let mut damaged = base.clone();
+                counts.unrank_into(rank as u64, &mut subset, &mut damaged);
+                assert_eq!(&subset, want, "n={n} d={d} rank={rank}");
+                assert_eq!(damaged.ones_indices(), *want, "damage bits track subset");
+            }
+            // Predecessor walks the whole order backwards.
+            let mut subset = Vec::new();
+            let mut damaged = base.clone();
+            counts.unrank_into(counts.total_nonempty() - 1, &mut subset, &mut damaged);
+            for rank in (0..expected.len() - 1).rev() {
+                counts.predecessor(&mut subset, &mut damaged);
+                assert_eq!(subset, expected[rank], "n={n} d={d} rank={rank}");
+                assert_eq!(damaged.ones_indices(), expected[rank]);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_on_varied_environments() {
+        let greedy = GreedyRepair::new();
+        let bfs = BfsRepair::new(5);
+        let strategies: [&dyn RepairStrategy; 2] = [&greedy, &bfs];
+        let explicit: ExplicitSet = ["11111111".parse().unwrap(), "00000000".parse().unwrap()]
+            .into_iter()
+            .collect();
+        let envs: [&dyn Constraint; 3] = [&AllOnes::new(8), &AtLeastOnes::new(8, 6), &explicit];
+        let start = Config::ones(8);
+        for strategy in strategies {
+            for env in envs {
+                for d in 0..=4 {
+                    for k in 0..=4 {
+                        let fast = is_k_recoverable_exhaustive(&start, env, strategy, d, k);
+                        let slow = recoverability_reference(&start, env, strategy, d, k);
+                        assert_eq!(fast, slow, "d={d} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_is_thread_invariant_and_matches_serial() {
+        let start = Config::ones(12);
+        let env = AllOnes::new(12);
+        let serial = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), 3, 2);
+        for threads in [1usize, 2, 4, 7] {
+            let ctx = RunContext::with_threads(0, threads);
+            let par = is_k_recoverable_exhaustive_parallel(
+                &start,
+                &env,
+                &GreedyRepair::new(),
+                3,
+                2,
+                &ctx,
+            );
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn non_deterministic_strategy_falls_back_to_reference() {
+        // AnnealRepair's proposals depend on its internal call counter, so
+        // the engine must route it through the sequential reference walk —
+        // both entry points, same call order, same answer shape.
+        let start = Config::ones(6);
+        let env = AllOnes::new(6);
+        let direct = is_k_recoverable_exhaustive(&start, &env, &AnnealRepair::new(0.5, 7), 2, 6);
+        let reference = recoverability_reference(&start, &env, &AnnealRepair::new(0.5, 7), 2, 6);
+        assert_eq!(direct, reference);
+        let parallel = is_k_recoverable_exhaustive_parallel(
+            &start,
+            &env,
+            &AnnealRepair::new(0.5, 7),
+            2,
+            6,
+            &RunContext::with_threads(0, 4),
+        );
+        assert_eq!(parallel, reference);
+    }
+
+    #[test]
+    fn engine_handles_wide_configs_beyond_direct_table() {
+        // 70 bits exceeds both the direct table and the packed-u64 keys.
+        let n = 70;
+        let start = Config::ones(n);
+        let env = AllOnes::new(n);
+        let fast = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), 2, 1);
+        let slow = recoverability_reference(&start, &env, &GreedyRepair::new(), 2, 1);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.cases, 70 + 70 * 69 / 2);
+        assert!(!fast.is_k_recoverable());
     }
 
     #[test]

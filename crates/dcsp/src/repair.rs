@@ -38,6 +38,18 @@ pub trait RepairStrategy: Send + Sync {
     /// Choose the next bit to flip for `state` under `env`, or `None` if
     /// stuck. Must not be called on an already-fit state (callers check).
     fn propose_flip(&self, state: &Config, env: &dyn Constraint) -> Option<usize>;
+
+    /// Whether `propose_flip` is a pure function of `(state, env)` — no
+    /// interior mutability, no dependence on call order. Deterministic
+    /// strategies admit memoized and parallel verification (the repair
+    /// trajectory from a state is unique, so outcomes can be cached per
+    /// state and cases checked in any order); non-deterministic ones fall
+    /// back to the sequential unmemoized path. Defaults to `true`;
+    /// strategies that mix hidden per-call state into their choice (e.g.
+    /// [`AnnealRepair`]'s call counter) must override this to `false`.
+    fn is_deterministic(&self) -> bool {
+        true
+    }
 }
 
 /// Greedy hill climbing on the violation degree: flips the
@@ -166,6 +178,12 @@ impl AnnealRepair {
 }
 
 impl RepairStrategy for AnnealRepair {
+    /// Not deterministic: the call counter makes repeated proposals on
+    /// the same state differ, so outcomes depend on global call order.
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+
     fn propose_flip(&self, state: &Config, env: &dyn Constraint) -> Option<usize> {
         if state.is_empty() {
             return None;
@@ -303,6 +321,16 @@ mod tests {
     #[should_panic(expected = "temperature")]
     fn anneal_validates_temperature() {
         let _ = AnnealRepair::new(0.0, 1);
+    }
+
+    #[test]
+    fn determinism_flags() {
+        assert!(GreedyRepair::new().is_deterministic());
+        assert!(BfsRepair::new(3).is_deterministic());
+        assert!(!AnnealRepair::new(1.0, 0).is_deterministic());
+        // Also through a trait object.
+        let anneal: Box<dyn RepairStrategy> = Box::new(AnnealRepair::new(1.0, 0));
+        assert!(!anneal.is_deterministic());
     }
 
     #[test]

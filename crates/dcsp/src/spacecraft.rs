@@ -126,11 +126,21 @@ impl Spacecraft {
         }
         let k = rng.gen_range(1..=self.max_debris_damage);
         let before = self.failed_components();
-        // Damage only good components: debris cannot "repair".
-        let good = self.components.ones_indices();
-        let k = k.min(good.len());
-        for idx in rand::seq::index::sample(rng, good.len(), k).into_iter() {
-            self.components.clear(good[idx]);
+        // Damage only good components: debris cannot "repair". Sampling
+        // over the count and selecting with `nth_one` keeps the RNG
+        // stream (and the chosen bits) identical to the former
+        // materialized `ones_indices()` vector, without the O(n) alloc.
+        let good = self.components.count_ones();
+        let k = k.min(good);
+        let mut chosen = rand::seq::index::sample(rng, good, k).into_vec();
+        for slot in chosen.iter_mut() {
+            *slot = self
+                .components
+                .nth_one(*slot)
+                .expect("sampled index is within the set-bit count");
+        }
+        for bit in chosen {
+            self.components.clear(bit);
         }
         self.failed_components() - before
     }
