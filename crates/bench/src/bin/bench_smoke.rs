@@ -7,15 +7,23 @@
 //! any mismatch, so CI running this binary doubles as an end-to-end
 //! equivalence smoke.
 //!
+//! `bench_smoke faults` instead measures the overhead of the
+//! fault-injection supervision layer on a Monte Carlo kernel — bare
+//! runtime vs supervised-with-a-quiet-plan vs a chaos plan — and
+//! cross-checks that all three produce bit-identical folds (the source
+//! of the checked-in `BENCH_3.json`).
+//!
 //! ```bash
 //! cargo run --release -p resilience-bench --bin bench_smoke > BENCH_2.json
+//! cargo run --release -p resilience-bench --bin bench_smoke -- faults > BENCH_3.json
 //! ```
 
 use std::time::Instant;
 
+use rand::Rng;
 use serde::Serialize;
 
-use resilience_core::{AllOnes, AtLeastOnes, Config, RunContext};
+use resilience_core::{AllOnes, AtLeastOnes, Config, FaultConfig, RunContext, Supervision};
 use resilience_dcsp::maintainability::{
     analyze_bit_dcsp, analyze_bit_dcsp_adversarial, TransitionSystem,
 };
@@ -78,8 +86,119 @@ fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     times[times.len() / 2]
 }
 
+#[derive(Serialize)]
+struct FaultOverhead {
+    trials: u64,
+    threads: usize,
+    chaos_plan: String,
+    baseline_trials_per_sec: f64,
+    supervised_quiet_trials_per_sec: f64,
+    /// Supervised-quiet wall time over bare wall time (1.0 = free).
+    supervised_quiet_overhead: f64,
+    chaos_trials_per_sec: f64,
+    /// Chaos-plan wall time over bare wall time (includes injected
+    /// delays and retries, so this is the cost of the *disturbance*,
+    /// not just the machinery).
+    chaos_overhead: f64,
+    faults_injected: u64,
+    recovered: u64,
+    lost: usize,
+    health_r: f64,
+}
+
+#[derive(Serialize)]
+struct FaultSmoke {
+    fault_overhead: FaultOverhead,
+    meta: Meta,
+}
+
+/// The Monte Carlo kernel the fault-overhead numbers are measured on:
+/// fold 64 rng draws per trial, XOR-reduce across trials.
+fn mc_kernel(ctx: &RunContext, trials: u64) -> u64 {
+    ctx.run_trials(
+        trials,
+        17,
+        |idx, rng| (0..64).fold(idx, |acc, _| acc ^ rng.gen::<u64>()),
+        0u64,
+        |acc, x| acc ^ x,
+    )
+}
+
+/// `bench_smoke faults`: supervision-layer overhead + bit-identity check.
+fn run_fault_smoke(reps: usize) {
+    const TRIALS: u64 = 50_000;
+    const THREADS: usize = 4;
+    // Delay-free so the chaos numbers measure machinery + retries, not
+    // sleeps; rates are high enough that every run injects thousands of
+    // faults.
+    let chaos_spec = "seed=7,panic=0.02,poison=0.02,times=2,retries=3,backoff_ms=0";
+    let chaos = FaultConfig::parse(chaos_spec).expect("canned chaos spec parses");
+
+    let bare_ctx = RunContext::with_threads(0, THREADS);
+    let quiet_ctx =
+        RunContext::with_threads(0, THREADS).supervised(Supervision::isolation("bench-quiet"));
+    let chaos_ctx =
+        RunContext::with_threads(0, THREADS).supervised(Supervision::new("bench-chaos", chaos));
+
+    let bare = mc_kernel(&bare_ctx, TRIALS);
+    let quiet = mc_kernel(&quiet_ctx, TRIALS);
+    let chaotic = mc_kernel(&chaos_ctx, TRIALS);
+    if bare != quiet || bare != chaotic {
+        eprintln!("FAIL: supervised folds differ from the bare runtime");
+        std::process::exit(1);
+    }
+    let report = chaos_ctx.run_report().expect("chaos context reports");
+    if report.faults_injected == 0 || report.recovered == 0 {
+        eprintln!("FAIL: chaos plan injected or recovered nothing");
+        std::process::exit(1);
+    }
+    if !report.lost.is_empty() {
+        eprintln!("FAIL: canned chaos plan is recoverable, nothing may be lost");
+        std::process::exit(1);
+    }
+
+    let bare_secs = median_secs(reps, || mc_kernel(&bare_ctx, TRIALS));
+    let quiet_secs = median_secs(reps, || mc_kernel(&quiet_ctx, TRIALS));
+    let chaos_secs = median_secs(reps, || mc_kernel(&chaos_ctx, TRIALS));
+
+    let smoke = FaultSmoke {
+        fault_overhead: FaultOverhead {
+            trials: TRIALS,
+            threads: THREADS,
+            chaos_plan: chaos_spec.to_string(),
+            baseline_trials_per_sec: TRIALS as f64 / bare_secs,
+            supervised_quiet_trials_per_sec: TRIALS as f64 / quiet_secs,
+            supervised_quiet_overhead: quiet_secs / bare_secs,
+            chaos_trials_per_sec: TRIALS as f64 / chaos_secs,
+            chaos_overhead: chaos_secs / bare_secs,
+            faults_injected: report.faults_injected,
+            recovered: report.recovered,
+            lost: report.lost.len(),
+            health_r: report.resilience_loss(),
+        },
+        meta: Meta {
+            profile: if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+            repetitions: reps,
+            timing: "median wall seconds per run",
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        },
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&smoke).expect("serializes")
+    );
+}
+
 fn main() {
     let reps = 5;
+    if std::env::args().nth(1).as_deref() == Some("faults") {
+        run_fault_smoke(reps);
+        return;
+    }
     let greedy = GreedyRepair::new();
 
     // Exhaustive k-recoverability, engine vs reference, n=16/d=3/k=3.

@@ -9,19 +9,35 @@
 //! experiments --seed 7 e12    # override the master seed
 //! experiments --json e1       # machine-readable output
 //! experiments --threads 4     # parallel Monte Carlo (same tables!)
+//! experiments --fault-plan seed=7,panic=0.02,times=2 e1   # chaos mode
+//! experiments --resume run.ckpt e1 e2                     # resumable run
 //! ```
 //!
 //! The thread budget can also be set with `RESILIENCE_THREADS`; the
 //! `--threads` flag wins when both are given. Likewise a default
 //! experiment selection can be set with `RESILIENCE_ONLY` (comma-
-//! separated ids, e.g. `RESILIENCE_ONLY=e2,e3`); explicit ids on the
-//! command line (positional or `--only`) win over the environment.
+//! separated ids, e.g. `RESILIENCE_ONLY=e2,e3`) and a default fault
+//! plan with `RESILIENCE_FAULTS` (same `key=value` spec as
+//! `--fault-plan`); explicit command-line values win over the
+//! environment in both cases.
+//!
 //! Tables are a pure function of the seed — any thread count produces
 //! bit-identical output, only the wall-time (reported on stderr)
-//! changes.
+//! changes. The same holds under a *recoverable* fault plan: injected
+//! panics, delays, and poisoned results are retried from a fresh
+//! per-trial rng, so the tables match the fault-free run bit for bit.
+//! Trials that exhaust the retry budget are dropped from the fold and
+//! reported (stderr run report + a `> **partial table**` annotation in
+//! Markdown mode) — the run degrades, it never aborts.
+//!
+//! `--resume <path>` journals each completed experiment to `path`
+//! (JSON lines, flushed per experiment) and replays already-journaled
+//! tables on restart, so killing a run and re-issuing the same command
+//! produces byte-identical output to an uninterrupted run.
 
 use resilience_bench::experiments::registry;
-use resilience_core::RunContext;
+use resilience_bench::{CheckpointEntry, ExperimentCheckpoint};
+use resilience_core::{FaultConfig, RunContext, Supervision};
 use std::time::Instant;
 
 fn main() {
@@ -29,26 +45,42 @@ fn main() {
     let mut seed = 42u64;
     let mut json = false;
     let mut threads = env_threads();
+    let mut fault_spec = env_faults();
+    let mut resume_path: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seed" => {
-                seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--seed needs an integer"));
+                let raw = it.next().unwrap_or_else(|| die("--seed needs an integer"));
+                seed = raw
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--seed needs an integer, got `{raw}`")));
             }
             "--threads" => {
-                threads = it
+                let raw = it
                     .next()
-                    .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--threads needs an integer"));
+                threads = raw
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--threads needs an integer, got `{raw}`")));
                 if threads == 0 {
                     die("--threads must be at least 1");
                 }
             }
             "--json" => json = true,
+            "--fault-plan" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--fault-plan needs a key=value spec"));
+                fault_spec = Some(raw);
+            }
+            "--resume" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--resume needs a checkpoint path"));
+                resume_path = Some(raw);
+            }
             "--only" => {
                 let list = it
                     .next()
@@ -58,19 +90,34 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--seed N] [--threads N] [--json] \
-                     [--only e2,e3] [e1 e2 ... e22]"
+                     [--fault-plan SPEC] [--resume PATH] [--only e2,e3] [e1 e2 ... e22]"
                 );
                 return;
             }
             other => wanted.push(other.to_ascii_lowercase()),
         }
     }
+    let faults: Option<FaultConfig> = fault_spec.map(|spec| {
+        FaultConfig::parse(&spec).unwrap_or_else(|err| die(&format!("bad fault plan: {err}")))
+    });
+    let fingerprint = faults
+        .as_ref()
+        .map(FaultConfig::to_spec)
+        .unwrap_or_default();
+    let mut checkpoint = resume_path
+        .map(|path| ExperimentCheckpoint::load(path).unwrap_or_else(|err| die(&format!("{err}"))));
     if wanted.is_empty() {
         // Fall back to the environment's default selection.
-        if let Ok(list) = std::env::var("RESILIENCE_ONLY") {
-            wanted = parse_id_list(&list);
-            if wanted.is_empty() {
-                die("RESILIENCE_ONLY must name at least one experiment");
+        match std::env::var("RESILIENCE_ONLY") {
+            Ok(list) => {
+                wanted = parse_id_list(&list);
+                if wanted.is_empty() {
+                    die("RESILIENCE_ONLY must name at least one experiment");
+                }
+            }
+            Err(std::env::VarError::NotPresent) => {}
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                die(&format!("RESILIENCE_ONLY is not valid unicode: {raw:?}"))
             }
         }
     }
@@ -88,8 +135,19 @@ fn main() {
             .collect()
     };
     for (id, runner) in selected {
+        if let Some(table) = checkpoint
+            .as_ref()
+            .and_then(|c| c.lookup(id, seed, &fingerprint))
+        {
+            eprintln!("{id}: resumed from checkpoint");
+            emit(table, json);
+            continue;
+        }
         eprintln!("running {id}…");
-        let ctx = RunContext::with_threads(seed, threads);
+        let mut ctx = RunContext::with_threads(seed, threads);
+        if let Some(cfg) = &faults {
+            ctx = ctx.supervised(Supervision::new(id, cfg.clone()));
+        }
         let start = Instant::now();
         let mut table = runner(&ctx);
         let perf = resilience_bench::PerfSummary {
@@ -105,14 +163,46 @@ fn main() {
             ),
             None => eprintln!("{id}: {:.3}s on {threads} thread(s)", perf.wall_secs),
         }
-        if json {
+        let lost = match ctx.run_report() {
+            Some(report) => {
+                // The run's own health trajectory, scored like any other
+                // system the harness studies.
+                eprintln!("{report}");
+                report.lost
+            }
+            None => Vec::new(),
+        };
+        emit(&table, json);
+        if !lost.is_empty() && !json {
+            let trials: Vec<String> = lost.iter().map(|l| l.trial.to_string()).collect();
             println!(
-                "{}",
-                serde_json::to_string_pretty(&table).expect("tables serialize")
+                "> **partial table:** {} trial(s) lost after exhausting the retry \
+                 budget (trial {})\n",
+                lost.len(),
+                trials.join(", ")
             );
-        } else {
-            println!("{}", table.to_markdown());
         }
+        if let Some(ckpt) = checkpoint.as_mut() {
+            ckpt.record(CheckpointEntry {
+                id: id.to_string(),
+                seed,
+                faults: fingerprint.clone(),
+                table,
+            })
+            .unwrap_or_else(|err| die(&format!("{err}")));
+        }
+    }
+}
+
+/// Print one table to stdout in the selected format.
+fn emit(table: &resilience_bench::ExperimentTable, json: bool) {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(table).expect("tables serialize")
+        );
+    } else {
+        println!("{}", table.to_markdown());
     }
 }
 
@@ -135,7 +225,22 @@ fn env_threads() -> usize {
                 "RESILIENCE_THREADS must be a positive integer, got `{raw}`"
             )),
         },
-        Err(_) => 1,
+        Err(std::env::VarError::NotPresent) => 1,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            die(&format!("RESILIENCE_THREADS is not valid unicode: {raw:?}"))
+        }
+    }
+}
+
+/// Default fault plan from `RESILIENCE_FAULTS` (validated later with
+/// the same strict parser as `--fault-plan`).
+fn env_faults() -> Option<String> {
+    match std::env::var("RESILIENCE_FAULTS") {
+        Ok(raw) => Some(raw),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            die(&format!("RESILIENCE_FAULTS is not valid unicode: {raw:?}"))
+        }
     }
 }
 

@@ -1,0 +1,211 @@
+//! Experiment-level checkpoint journal for `experiments --resume`.
+//!
+//! The journal is a JSON-lines file: one [`CheckpointEntry`] per
+//! completed experiment, appended and flushed as each experiment
+//! finishes. A killed run therefore loses at most the experiment that
+//! was in flight; `--resume <path>` replays the recorded tables
+//! verbatim (every [`ExperimentTable`] field is a `String`, so the
+//! re-rendered Markdown/JSON output is byte-identical) and computes
+//! only what is missing.
+//!
+//! Entries are keyed by `(id, seed, faults)` — the faults field is the
+//! canonical fingerprint of the active fault configuration
+//! ([`resilience_core::FaultConfig::to_spec`], empty when faults are
+//! off) — so a journal written under one seed or fault plan is never
+//! replayed into a run with different parameters.
+
+use crate::table::ExperimentTable;
+use resilience_core::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// One completed experiment in the journal.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CheckpointEntry {
+    /// Experiment id, e.g. "e4".
+    pub id: String,
+    /// Master seed the table was computed under.
+    pub seed: u64,
+    /// Canonical fault-config fingerprint ("" when faults are off).
+    pub faults: String,
+    /// The completed table, verbatim.
+    pub table: ExperimentTable,
+}
+
+/// An append-only journal of completed experiments.
+#[derive(Debug)]
+pub struct ExperimentCheckpoint {
+    path: PathBuf,
+    entries: Vec<CheckpointEntry>,
+}
+
+impl ExperimentCheckpoint {
+    /// Open (or create) the journal at `path`, loading existing entries.
+    ///
+    /// A missing file is an empty journal. A torn final line — the
+    /// signature of a process killed mid-append — is dropped silently;
+    /// corruption anywhere else is a [`CoreError::Checkpoint`].
+    pub fn load(path: impl Into<PathBuf>) -> Result<Self, CoreError> {
+        let path = path.into();
+        let mut entries = Vec::new();
+        match File::open(&path) {
+            Ok(file) => {
+                let lines: Vec<String> = BufReader::new(file)
+                    .lines()
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| checkpoint_err(&path, format!("read failed: {e}")))?;
+                let last = lines.len().saturating_sub(1);
+                for (i, line) in lines.iter().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match serde_json::from_str::<CheckpointEntry>(line) {
+                        Ok(entry) => entries.push(entry),
+                        // Only the final line may be torn (kill mid-write).
+                        Err(_) if i == last => {}
+                        Err(e) => {
+                            return Err(checkpoint_err(
+                                &path,
+                                format!("corrupt entry on line {}: {e}", i + 1),
+                            ));
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(checkpoint_err(&path, format!("open failed: {e}"))),
+        }
+        Ok(ExperimentCheckpoint { path, entries })
+    }
+
+    /// The journal's on-disk location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of completed experiments on record.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the journal holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded table for `(id, seed, faults)`, if this exact
+    /// combination already completed.
+    pub fn lookup(&self, id: &str, seed: u64, faults: &str) -> Option<&ExperimentTable> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id && e.seed == seed && e.faults == faults)
+            .map(|e| &e.table)
+    }
+
+    /// Append a completed experiment and flush it to disk immediately.
+    pub fn record(&mut self, entry: CheckpointEntry) -> Result<(), CoreError> {
+        let line = serde_json::to_string(&entry)
+            .map_err(|e| checkpoint_err(&self.path, format!("serialize failed: {e}")))?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| checkpoint_err(&self.path, format!("open for append failed: {e}")))?;
+        writeln!(file, "{line}")
+            .and_then(|()| file.flush())
+            .map_err(|e| checkpoint_err(&self.path, format!("append failed: {e}")))?;
+        self.entries.push(entry);
+        Ok(())
+    }
+}
+
+fn checkpoint_err(path: &Path, detail: String) -> CoreError {
+    CoreError::Checkpoint {
+        reason: format!("{}: {detail}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(id: &str) -> ExperimentTable {
+        ExperimentTable {
+            id: id.to_uppercase(),
+            title: "demo".into(),
+            claim: "c".into(),
+            headers: vec!["a".into()],
+            rows: vec![vec!["1".into()]],
+            finding: "f".into(),
+            perf: None,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("resilience-ckpt-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn missing_file_is_empty_journal() {
+        let ckpt = ExperimentCheckpoint::load(tmp("missing.jsonl")).expect("load");
+        assert!(ckpt.is_empty());
+    }
+
+    #[test]
+    fn round_trips_entries_keyed_by_id_seed_faults() {
+        let path = tmp("roundtrip.jsonl");
+        let mut ckpt = ExperimentCheckpoint::load(&path).expect("load");
+        ckpt.record(CheckpointEntry {
+            id: "e1".into(),
+            seed: 42,
+            faults: String::new(),
+            table: table("e1"),
+        })
+        .expect("record");
+        drop(ckpt);
+
+        let ckpt = ExperimentCheckpoint::load(&path).expect("reload");
+        assert_eq!(ckpt.len(), 1);
+        assert_eq!(ckpt.lookup("e1", 42, ""), Some(&table("e1")));
+        assert_eq!(ckpt.lookup("e1", 7, ""), None, "different seed");
+        assert_eq!(ckpt.lookup("e1", 42, "seed=1"), None, "different plan");
+        assert_eq!(ckpt.lookup("e2", 42, ""), None, "different id");
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let path = tmp("torn.jsonl");
+        let mut ckpt = ExperimentCheckpoint::load(&path).expect("load");
+        ckpt.record(CheckpointEntry {
+            id: "e1".into(),
+            seed: 1,
+            faults: String::new(),
+            table: table("e1"),
+        })
+        .expect("record");
+        drop(ckpt);
+        // Simulate a kill mid-append: a half-written final line.
+        let mut file = OpenOptions::new().append(true).open(&path).expect("append");
+        write!(file, "{{\"id\":\"e2\",\"se").expect("torn write");
+        drop(file);
+
+        let ckpt = ExperimentCheckpoint::load(&path).expect("reload tolerates torn tail");
+        assert_eq!(ckpt.len(), 1);
+        assert!(ckpt.lookup("e1", 1, "").is_some());
+    }
+
+    #[test]
+    fn corruption_before_the_final_line_is_an_error() {
+        let path = tmp("corrupt.jsonl");
+        std::fs::write(&path, "not json at all\n{\"also\":\"bad\"}\n").expect("write");
+        let err = ExperimentCheckpoint::load(&path).unwrap_err();
+        assert!(matches!(err, CoreError::Checkpoint { .. }));
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -21,7 +21,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod table;
 
+pub use checkpoint::{CheckpointEntry, ExperimentCheckpoint};
 pub use table::{ExperimentTable, PerfSummary};

@@ -11,6 +11,7 @@ fn experiments() -> Command {
     // default-threads assumption hold regardless of the caller's shell.
     cmd.env_remove("RESILIENCE_THREADS");
     cmd.env_remove("RESILIENCE_ONLY");
+    cmd.env_remove("RESILIENCE_FAULTS");
     cmd
 }
 
@@ -23,12 +24,70 @@ fn seed_flag_without_value_exits_2() {
 }
 
 #[test]
-fn seed_flag_with_garbage_exits_2() {
+fn seed_flag_with_garbage_exits_2_naming_the_value() {
     let out = experiments()
         .args(["--seed", "banana"])
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("banana"), "stderr: {stderr}");
+}
+
+#[test]
+fn threads_flag_with_garbage_exits_2_naming_the_value() {
+    let out = experiments()
+        .args(["--threads", "many", "e20"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("many"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_fault_plan_exits_2_naming_the_token() {
+    let out = experiments()
+        .args(["--fault-plan", "panic=0.01,frobnicate=3", "e20"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("frobnicate=3"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_fault_plan_value_exits_2_naming_the_token() {
+    let out = experiments()
+        .args(["--fault-plan", "panic=lots", "e20"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("panic=lots"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_faults_env_var_exits_2_naming_the_token() {
+    let out = experiments()
+        .env("RESILIENCE_FAULTS", "seed=nope")
+        .arg("e20")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("seed=nope"), "stderr: {stderr}");
+}
+
+#[test]
+fn fault_plan_flag_overrides_faults_env_var() {
+    // The env var is garbage, but the flag wins, so the run succeeds.
+    let out = experiments()
+        .env("RESILIENCE_FAULTS", "garbage")
+        .args(["--fault-plan", "seed=1,panic=0.01", "--json", "e20"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
 }
 
 #[test]

@@ -30,6 +30,26 @@ pub enum CoreError {
     },
     /// A quality trajectory was empty or otherwise unusable.
     EmptyTrajectory,
+    /// A fault-injection spec (`--fault-plan` / `RESILIENCE_FAULTS`)
+    /// contained a malformed or unknown token.
+    InvalidFaultSpec {
+        /// The offending `key=value` token, verbatim.
+        token: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A checkpoint journal could not be read, written, or decoded.
+    Checkpoint {
+        /// What went wrong.
+        reason: String,
+    },
+    /// An operation needed a constraint with a known arity, but the
+    /// constraint does not report one.
+    UnknownArity,
+    /// An operation is defined for the passive strategy axes only
+    /// (redundancy, diversity, adaptability), but was handed an active
+    /// strategy.
+    ActiveStrategyUnsupported,
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +65,20 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             CoreError::EmptyTrajectory => write!(f, "quality trajectory contains no samples"),
+            CoreError::InvalidFaultSpec { token, reason } => {
+                write!(f, "invalid fault spec token `{token}`: {reason}")
+            }
+            CoreError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
+            CoreError::UnknownArity => {
+                write!(f, "constraint does not report an arity")
+            }
+            CoreError::ActiveStrategyUnsupported => {
+                write!(
+                    f,
+                    "operation covers the passive strategy axes only \
+                     (redundancy, diversity, adaptability)"
+                )
+            }
         }
     }
 }
@@ -74,6 +108,20 @@ mod tests {
         assert!(CoreError::EmptyTrajectory
             .to_string()
             .contains("trajectory"));
+        let err = CoreError::InvalidFaultSpec {
+            token: "panic=oops".to_string(),
+            reason: "not a number".to_string(),
+        };
+        assert!(err.to_string().contains("panic=oops"));
+        assert!(err.to_string().contains("not a number"));
+        let err = CoreError::Checkpoint {
+            reason: "torn line".to_string(),
+        };
+        assert!(err.to_string().contains("torn line"));
+        assert!(CoreError::UnknownArity.to_string().contains("arity"));
+        assert!(CoreError::ActiveStrategyUnsupported
+            .to_string()
+            .contains("passive"));
     }
 
     #[test]

@@ -46,12 +46,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as typed `CoreError`s, never
+// `unwrap()`; tests are exempt (the `not(test)` gate) because a failed
+// unwrap there *is* the assertion.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod bok;
 pub mod bruneau;
 pub mod config;
 pub mod constraint;
 pub mod error;
+pub mod faults;
 pub mod modes;
 pub mod quality;
 pub mod rng;
@@ -68,6 +73,10 @@ pub use constraint::{
     PredicateConstraint,
 };
 pub use error::CoreError;
+pub use faults::{
+    FailureCause, FaultConfig, FaultKind, FaultPlan, LostTrial, RecoveryPolicy, RunReport,
+    Supervision, TrialCheckpoint,
+};
 pub use modes::{BiasedPerception, Mode, ModeController, SwitchPolicy, ThresholdPolicy};
 pub use quality::QualityTrajectory;
 pub use rng::{derive_seed, seeded_rng};

@@ -120,25 +120,35 @@ impl BudgetAllocation {
     /// # Panics
     ///
     /// Panics if `strategy` is an active strategy (budgets cover the
-    /// passive axes only).
+    /// passive axes only). Use [`BudgetAllocation::checked_pure`] to
+    /// handle that case as a typed error instead.
     pub fn pure(strategy: Strategy) -> Self {
+        match Self::checked_pure(strategy) {
+            Ok(alloc) => alloc,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Everything on one strategy, rejecting active strategies with
+    /// [`CoreError::ActiveStrategyUnsupported`] instead of panicking.
+    pub fn checked_pure(strategy: Strategy) -> Result<Self, CoreError> {
         match strategy {
-            Strategy::Redundancy => BudgetAllocation {
+            Strategy::Redundancy => Ok(BudgetAllocation {
                 redundancy: 1.0,
                 diversity: 0.0,
                 adaptability: 0.0,
-            },
-            Strategy::Diversity => BudgetAllocation {
+            }),
+            Strategy::Diversity => Ok(BudgetAllocation {
                 redundancy: 0.0,
                 diversity: 1.0,
                 adaptability: 0.0,
-            },
-            Strategy::Adaptability => BudgetAllocation {
+            }),
+            Strategy::Adaptability => Ok(BudgetAllocation {
                 redundancy: 0.0,
                 diversity: 0.0,
                 adaptability: 1.0,
-            },
-            Strategy::Active(_) => panic!("budget allocations cover passive strategies only"),
+            }),
+            Strategy::Active(_) => Err(CoreError::ActiveStrategyUnsupported),
         }
     }
 
@@ -161,13 +171,25 @@ impl BudgetAllocation {
     ///
     /// # Panics
     ///
-    /// Panics on an active strategy.
+    /// Panics on an active strategy. Use
+    /// [`BudgetAllocation::checked_fraction`] to handle that case as a
+    /// typed error instead.
     pub fn fraction(&self, strategy: Strategy) -> f64 {
+        match self.checked_fraction(strategy) {
+            Ok(fraction) => fraction,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fraction allocated to one strategy, rejecting active strategies
+    /// with [`CoreError::ActiveStrategyUnsupported`] instead of
+    /// panicking.
+    pub fn checked_fraction(&self, strategy: Strategy) -> Result<f64, CoreError> {
         match strategy {
-            Strategy::Redundancy => self.redundancy,
-            Strategy::Diversity => self.diversity,
-            Strategy::Adaptability => self.adaptability,
-            Strategy::Active(_) => panic!("budget allocations cover passive strategies only"),
+            Strategy::Redundancy => Ok(self.redundancy),
+            Strategy::Diversity => Ok(self.diversity),
+            Strategy::Adaptability => Ok(self.adaptability),
+            Strategy::Active(_) => Err(CoreError::ActiveStrategyUnsupported),
         }
     }
 
@@ -244,9 +266,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "passive strategies")]
+    #[should_panic(expected = "passive strategy axes")]
     fn pure_rejects_active() {
         let _ = BudgetAllocation::pure(Strategy::Active(ActiveStrategy::Anticipation));
+    }
+
+    #[test]
+    fn checked_variants_return_typed_errors() {
+        let active = Strategy::Active(ActiveStrategy::Anticipation);
+        assert_eq!(
+            BudgetAllocation::checked_pure(active),
+            Err(CoreError::ActiveStrategyUnsupported)
+        );
+        assert_eq!(
+            BudgetAllocation::uniform().checked_fraction(active),
+            Err(CoreError::ActiveStrategyUnsupported)
+        );
+        let pure = BudgetAllocation::checked_pure(Strategy::Diversity).unwrap();
+        assert_eq!(pure.checked_fraction(Strategy::Diversity), Ok(1.0));
     }
 
     #[test]

@@ -41,6 +41,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as typed `CoreError`s, never
+// `unwrap()`; tests are exempt (the `not(test)` gate) because a failed
+// unwrap there *is* the assertion.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod belief;
 pub mod cost;

@@ -64,12 +64,25 @@ impl DcspSystem {
     ///
     /// # Panics
     ///
-    /// Panics if the constraint has no arity.
+    /// Panics if the constraint has no arity. Use
+    /// [`DcspSystem::try_fit_under`] to handle that case as a typed
+    /// error instead.
     pub fn fit_under(env: Arc<dyn Constraint>) -> Self {
+        match Self::try_fit_under(env) {
+            Ok(system) => system,
+            Err(err) => panic!("fit_under requires a constraint with a known arity: {err}"),
+        }
+    }
+
+    /// A system that starts fit under a constraint with a known arity,
+    /// rejecting arity-less constraints with
+    /// [`CoreError::UnknownArity`](resilience_core::CoreError::UnknownArity)
+    /// instead of panicking.
+    pub fn try_fit_under(env: Arc<dyn Constraint>) -> Result<Self, resilience_core::CoreError> {
         let n = env
             .arity()
-            .expect("fit_under requires a constraint with a known arity");
-        DcspSystem::new(Config::ones(n), env)
+            .ok_or(resilience_core::CoreError::UnknownArity)?;
+        Ok(DcspSystem::new(Config::ones(n), env))
     }
 
     /// Current configuration.
@@ -202,6 +215,16 @@ mod tests {
         assert_eq!(sys.quality(), 100.0);
         assert_eq!(sys.time(), 0);
         assert_eq!(sys.quality_trajectory().len(), 1);
+    }
+
+    #[test]
+    fn try_fit_under_rejects_arityless_constraints() {
+        let anon = resilience_core::PredicateConstraint::new("anything", |_| true);
+        let err = DcspSystem::try_fit_under(Arc::new(anon)).unwrap_err();
+        assert_eq!(err, resilience_core::CoreError::UnknownArity);
+        assert!(DcspSystem::try_fit_under(Arc::new(AllOnes::new(8)))
+            .unwrap()
+            .is_fit());
     }
 
     #[test]
