@@ -34,10 +34,18 @@
 //! (JSON lines, flushed per experiment) and replays already-journaled
 //! tables on restart, so killing a run and re-issuing the same command
 //! produces byte-identical output to an uninterrupted run.
+//!
+//! `--report-json <path>` writes the supervised run reports — health
+//! trajectory, Bruneau resilience loss, retry counts, lost trials — as
+//! a JSON array, one element per experiment actually run this
+//! invocation (experiments replayed from a `--resume` checkpoint did
+//! not re-run, so they contribute no report). Without a fault plan the
+//! runs are wrapped in panic-isolation-only supervision so the report
+//! exists and records a fault-free trajectory.
 
 use resilience_bench::experiments::registry;
 use resilience_bench::{CheckpointEntry, ExperimentCheckpoint};
-use resilience_core::{FaultConfig, RunContext, Supervision};
+use resilience_core::{FaultConfig, RunContext, RunReport, Supervision};
 use std::time::Instant;
 
 fn main() {
@@ -47,6 +55,7 @@ fn main() {
     let mut threads = env_threads();
     let mut fault_spec = env_faults();
     let mut resume_path: Option<String> = None;
+    let mut report_json: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -81,6 +90,12 @@ fn main() {
                     .unwrap_or_else(|| die("--resume needs a checkpoint path"));
                 resume_path = Some(raw);
             }
+            "--report-json" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--report-json needs an output path"));
+                report_json = Some(raw);
+            }
             "--only" => {
                 let list = it
                     .next()
@@ -90,7 +105,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--seed N] [--threads N] [--json] \
-                     [--fault-plan SPEC] [--resume PATH] [--only e2,e3] [e1 e2 ... e22]"
+                     [--fault-plan SPEC] [--resume PATH] [--report-json PATH] \
+                     [--only e2,e3] [e1 e2 ... e22]"
                 );
                 return;
             }
@@ -134,6 +150,7 @@ fn main() {
             .filter(|(id, _)| wanted.iter().any(|w| w == id))
             .collect()
     };
+    let mut reports: Vec<RunReport> = Vec::new();
     for (id, runner) in selected {
         if let Some(table) = checkpoint
             .as_ref()
@@ -147,6 +164,11 @@ fn main() {
         let mut ctx = RunContext::with_threads(seed, threads);
         if let Some(cfg) = &faults {
             ctx = ctx.supervised(Supervision::new(id, cfg.clone()));
+        } else if report_json.is_some() {
+            // A report was asked for but no faults are planned: wrap the
+            // run in isolation-only supervision so the health trajectory
+            // is still recorded.
+            ctx = ctx.supervised(Supervision::isolation(id));
         }
         let start = Instant::now();
         let mut table = runner(&ctx);
@@ -168,7 +190,11 @@ fn main() {
                 // The run's own health trajectory, scored like any other
                 // system the harness studies.
                 eprintln!("{report}");
-                report.lost
+                let lost = report.lost.clone();
+                if report_json.is_some() {
+                    reports.push(report);
+                }
+                lost
             }
             None => Vec::new(),
         };
@@ -191,6 +217,12 @@ fn main() {
             })
             .unwrap_or_else(|err| die(&format!("{err}")));
         }
+    }
+    if let Some(path) = report_json {
+        let rendered = serde_json::to_string_pretty(&reports).expect("reports render");
+        std::fs::write(&path, format!("{rendered}\n"))
+            .unwrap_or_else(|err| die(&format!("cannot write --report-json {path}: {err}")));
+        eprintln!("{} run report(s) written to {path}", reports.len());
     }
 }
 

@@ -1,0 +1,340 @@
+//! Load driver for the graceful-degradation serving layer.
+//!
+//! Replays a seeded open-loop request trace (base load plus a mid-trace
+//! arrival surge) through `resilience_service::ServiceEngine`,
+//! optionally under a chaos [`FaultPlan`], and reports the run's
+//! goodput, shed rate, and Bruneau resilience loss.
+//!
+//! Usage:
+//!
+//! ```bash
+//! serve                                  # one run, summary to stdout
+//! serve --requests 600 --seed 42        # workload shape
+//! serve --threads 4                     # backend thread budget (same output!)
+//! serve --degradation off               # ablation: full fidelity or nothing
+//! serve --fault-plan seed=11,panic=0.1  # chaos mode
+//! serve --json                          # machine-readable single run
+//! serve --log                           # per-request outcome log lines
+//! serve --compare                       # degradation on vs off (BENCH_4.json)
+//! ```
+//!
+//! Every service decision runs on a logical clock, so the entire
+//! per-request outcome log — not just the aggregates — is bit-identical
+//! for any `--threads` value (the `serve_cli` e2e test spawns this
+//! binary at several budgets and diffs the logs). `--compare` runs the
+//! same trace and chaos plan with degradation on and off, self-checks
+//! the graceful-degradation acceptance criteria (no hard failures with
+//! brownout on, shed rate below 100%, finite R, strictly lower R with
+//! degradation on), and prints the comparison JSON checked in as
+//! `BENCH_4.json` — exiting non-zero if any criterion fails, so CI
+//! running this binary doubles as an overload-behaviour smoke.
+
+use resilience_core::faults::{FaultConfig, FaultPlan};
+use resilience_service::{
+    BreakerState, RequestTrace, ServiceConfig, ServiceEngine, ServiceReport, TraceSpec,
+};
+use serde::Serialize;
+
+/// The chaos plan used when `--compare` is given without an explicit
+/// `--fault-plan`: enough damage that the ablation arm visibly bleeds.
+const DEFAULT_CHAOS: &str = "seed=11,panic=0.1,delay=0.05,poison=0.1,permanent=0.05";
+
+#[derive(Serialize)]
+struct Workload {
+    requests: u64,
+    seed: u64,
+    families: Vec<String>,
+    base_rate: f64,
+    surge_factor: f64,
+    chaos_plan: String,
+}
+
+#[derive(Serialize)]
+struct Arm {
+    served_full: u64,
+    served_reduced: u64,
+    served_cached: u64,
+    shed: u64,
+    failed: u64,
+    goodput: f64,
+    shed_rate: f64,
+    mean_latency_ticks: f64,
+    resilience_loss: f64,
+    ticks: u64,
+    brownout_level_changes: usize,
+    breaker_trips: usize,
+}
+
+#[derive(Serialize)]
+struct Comparison {
+    resilience_loss_on: f64,
+    resilience_loss_off: f64,
+    /// `R_off / R_on` — how much smaller degradation makes the
+    /// resilience triangle (> 1 means degradation wins).
+    resilience_improvement: f64,
+    goodput_gain: f64,
+}
+
+#[derive(Serialize)]
+struct Meta {
+    profile: &'static str,
+    threads: usize,
+    determinism: &'static str,
+}
+
+#[derive(Serialize)]
+struct CompareOutput {
+    workload: Workload,
+    degradation_on: Arm,
+    degradation_off: Arm,
+    comparison: Comparison,
+    meta: Meta,
+}
+
+#[derive(Serialize)]
+struct SingleOutput {
+    workload: Workload,
+    degradation: bool,
+    arm: Arm,
+    meta: Meta,
+}
+
+fn arm(report: &ServiceReport) -> Arm {
+    let mut served_full = 0;
+    let mut served_reduced = 0;
+    let mut served_cached = 0;
+    for f in &report.per_family {
+        served_full += f.served_full;
+        served_reduced += f.served_reduced;
+        served_cached += f.served_cached;
+    }
+    Arm {
+        served_full,
+        served_reduced,
+        served_cached,
+        shed: report.shed(),
+        failed: report.failed(),
+        goodput: report.goodput(),
+        shed_rate: report.shed_rate(),
+        mean_latency_ticks: report.mean_latency(),
+        resilience_loss: report.resilience_loss(),
+        ticks: report.ticks,
+        brownout_level_changes: report.brownout_history.len(),
+        breaker_trips: report
+            .breaker_transitions
+            .iter()
+            .flatten()
+            .filter(|t| t.to == BreakerState::Open)
+            .count(),
+    }
+}
+
+fn meta(threads: usize) -> Meta {
+    Meta {
+        profile: if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+        threads,
+        determinism: "logical clock; outcome log is bit-identical for any thread budget",
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    eprintln!("usage: serve [--requests N] [--seed N] [--threads N] [--fault-plan SPEC]");
+    eprintln!("             [--degradation on|off] [--json] [--log] [--compare]");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn env_threads() -> usize {
+    std::env::var("RESILIENCE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t: &usize| t >= 1)
+        .unwrap_or(1)
+}
+
+fn main() {
+    let mut requests = 600u64;
+    let mut seed = 42u64;
+    let mut threads = env_threads();
+    let mut fault_spec: Option<String> = None;
+    let mut degradation = true;
+    let mut json = false;
+    let mut log = false;
+    let mut compare = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--requests" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--requests needs an integer"));
+                requests = raw
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--requests needs an integer, got `{raw}`")));
+            }
+            "--seed" => {
+                let raw = it.next().unwrap_or_else(|| die("--seed needs an integer"));
+                seed = raw
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--seed needs an integer, got `{raw}`")));
+            }
+            "--threads" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--threads needs an integer"));
+                threads = raw
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("--threads needs an integer, got `{raw}`")));
+                if threads == 0 {
+                    die("--threads must be at least 1");
+                }
+            }
+            "--fault-plan" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--fault-plan needs a key=value spec"));
+                fault_spec = Some(raw);
+            }
+            "--degradation" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--degradation needs on|off"));
+                degradation = match raw.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => die(&format!("--degradation needs on|off, got `{other}`")),
+                };
+            }
+            "--json" => json = true,
+            "--log" => log = true,
+            "--compare" => compare = true,
+            "--help" | "-h" => die("load driver for the serving layer"),
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let chaos_spec = fault_spec.unwrap_or_else(|| {
+        if compare {
+            DEFAULT_CHAOS.to_string()
+        } else {
+            String::new()
+        }
+    });
+    let plan: FaultPlan = if chaos_spec.is_empty() {
+        FaultPlan::none()
+    } else {
+        FaultConfig::parse(&chaos_spec)
+            .unwrap_or_else(|e| die(&format!("bad --fault-plan: {e}")))
+            .plan
+    };
+
+    let spec = TraceSpec::new(requests, seed);
+    let trace = RequestTrace::generate(&spec);
+    let workload = Workload {
+        requests,
+        seed,
+        families: spec.families.clone(),
+        base_rate: spec.base_rate,
+        surge_factor: spec.surge_factor,
+        chaos_plan: chaos_spec.clone(),
+    };
+    let run = |degradation: bool| {
+        ServiceEngine::new(ServiceConfig {
+            threads,
+            degradation,
+            ..ServiceConfig::default()
+        })
+        .serve(&trace, &plan)
+    };
+
+    if compare {
+        let on = run(true);
+        let off = run(false);
+        // Acceptance criteria — this binary is its own smoke test.
+        if on.failed() != 0 {
+            fail(&format!(
+                "{} hard failures with degradation on; faults must become fallbacks",
+                on.failed()
+            ));
+        }
+        if on.shed_rate() >= 1.0 || off.shed_rate() >= 1.0 {
+            fail("shed rate reached 100%: the service served nothing");
+        }
+        if !on.resilience_loss().is_finite() || !off.resilience_loss().is_finite() {
+            fail("non-finite resilience loss");
+        }
+        if on.resilience_loss() >= off.resilience_loss() {
+            fail(&format!(
+                "degradation did not shrink the resilience triangle: R_on={} R_off={}",
+                on.resilience_loss(),
+                off.resilience_loss()
+            ));
+        }
+        let output = CompareOutput {
+            workload,
+            comparison: Comparison {
+                resilience_loss_on: on.resilience_loss(),
+                resilience_loss_off: off.resilience_loss(),
+                resilience_improvement: off.resilience_loss() / on.resilience_loss(),
+                goodput_gain: on.goodput() - off.goodput(),
+            },
+            degradation_on: arm(&on),
+            degradation_off: arm(&off),
+            meta: meta(threads),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&output).expect("serializes")
+        );
+        return;
+    }
+
+    let report = run(degradation);
+    if log {
+        for outcome in &report.outcomes {
+            println!("{outcome}");
+        }
+    }
+    if json {
+        let output = SingleOutput {
+            workload,
+            degradation,
+            arm: arm(&report),
+            meta: meta(threads),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&output).expect("serializes")
+        );
+    } else if !log {
+        println!(
+            "serve: {} requests seed={} degradation={} | served={} (full={} reduced={} cached={}) \
+             shed={} failed={} | goodput={:.3} shed_rate={:.3} mean_latency={:.1} ticks={} R={:.1}",
+            report.total(),
+            seed,
+            if degradation { "on" } else { "off" },
+            report.served(),
+            arm(&report).served_full,
+            arm(&report).served_reduced,
+            arm(&report).served_cached,
+            report.shed(),
+            report.failed(),
+            report.goodput(),
+            report.shed_rate(),
+            report.mean_latency(),
+            report.ticks,
+            report.resilience_loss(),
+        );
+    }
+}

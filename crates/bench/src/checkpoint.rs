@@ -1,12 +1,18 @@
 //! Experiment-level checkpoint journal for `experiments --resume`.
 //!
 //! The journal is a JSON-lines file: one [`CheckpointEntry`] per
-//! completed experiment, appended and flushed as each experiment
-//! finishes. A killed run therefore loses at most the experiment that
-//! was in flight; `--resume <path>` replays the recorded tables
-//! verbatim (every [`ExperimentTable`] field is a `String`, so the
-//! re-rendered Markdown/JSON output is byte-identical) and computes
-//! only what is missing.
+//! completed experiment, persisted as each experiment finishes. Every
+//! write is an *atomic replace* — the full journal is rendered to a
+//! sibling temp file, flushed and synced, then renamed over the real
+//! path — so a kill at any instant leaves either the previous complete
+//! journal or the new complete journal on disk, never a torn file. A
+//! killed run therefore loses at most the experiment that was in
+//! flight; `--resume <path>` replays the recorded tables verbatim
+//! (every [`ExperimentTable`] field is a `String`, so the re-rendered
+//! Markdown/JSON output is byte-identical) and computes only what is
+//! missing. Loading still tolerates a truncated final line, so journals
+//! produced by older append-style writers (or torn by filesystems
+//! without atomic rename) resume fine too.
 //!
 //! Entries are keyed by `(id, seed, faults)` — the faults field is the
 //! canonical fingerprint of the active fault configuration
@@ -17,7 +23,7 @@
 use crate::table::ExperimentTable;
 use resilience_core::CoreError;
 use serde::{Deserialize, Serialize};
-use std::fs::{File, OpenOptions};
+use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
@@ -104,18 +110,38 @@ impl ExperimentCheckpoint {
             .map(|e| &e.table)
     }
 
-    /// Append a completed experiment and flush it to disk immediately.
+    /// Record a completed experiment, persisting the journal
+    /// immediately via an atomic replace: the whole journal (existing
+    /// entries plus the new one) is written to a sibling temp file,
+    /// flushed and synced, then renamed over the real path. A crash at
+    /// any point leaves a complete journal on disk — either the old one
+    /// or the new one — so resumes never observe a torn write from this
+    /// writer. Journals are small (one line per experiment), so the
+    /// full rewrite is cheap.
     pub fn record(&mut self, entry: CheckpointEntry) -> Result<(), CoreError> {
-        let line = serde_json::to_string(&entry)
-            .map_err(|e| checkpoint_err(&self.path, format!("serialize failed: {e}")))?;
-        let mut file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)
-            .map_err(|e| checkpoint_err(&self.path, format!("open for append failed: {e}")))?;
-        writeln!(file, "{line}")
-            .and_then(|()| file.flush())
-            .map_err(|e| checkpoint_err(&self.path, format!("append failed: {e}")))?;
+        let mut rendered = String::new();
+        for existing in self.entries.iter().chain(std::iter::once(&entry)) {
+            let line = serde_json::to_string(existing)
+                .map_err(|e| checkpoint_err(&self.path, format!("serialize failed: {e}")))?;
+            rendered.push_str(&line);
+            rendered.push('\n');
+        }
+        // The temp file must live in the same directory for the rename
+        // to be atomic (cross-device renames are copies).
+        let file_name = self
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "journal".to_string());
+        let tmp = self.path.with_file_name(format!("{file_name}.tmp"));
+        let mut file = File::create(&tmp)
+            .map_err(|e| checkpoint_err(&tmp, format!("create temp failed: {e}")))?;
+        file.write_all(rendered.as_bytes())
+            .and_then(|()| file.sync_all())
+            .map_err(|e| checkpoint_err(&tmp, format!("write temp failed: {e}")))?;
+        drop(file);
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| checkpoint_err(&self.path, format!("atomic replace failed: {e}")))?;
         self.entries.push(entry);
         Ok(())
     }
@@ -190,14 +216,86 @@ mod tests {
         })
         .expect("record");
         drop(ckpt);
-        // Simulate a kill mid-append: a half-written final line.
-        let mut file = OpenOptions::new().append(true).open(&path).expect("append");
+        // Simulate an old append-style writer killed mid-append: a
+        // half-written final line.
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("append");
         write!(file, "{{\"id\":\"e2\",\"se").expect("torn write");
         drop(file);
 
         let ckpt = ExperimentCheckpoint::load(&path).expect("reload tolerates torn tail");
         assert_eq!(ckpt.len(), 1);
         assert!(ckpt.lookup("e1", 1, "").is_some());
+    }
+
+    #[test]
+    fn truncated_tail_still_resumes_and_next_record_heals_the_file() {
+        let path = tmp("truncated-resume.jsonl");
+        let mut ckpt = ExperimentCheckpoint::load(&path).expect("load");
+        for (id, seed) in [("e1", 1u64), ("e2", 1)] {
+            ckpt.record(CheckpointEntry {
+                id: id.into(),
+                seed,
+                faults: String::new(),
+                table: table(id),
+            })
+            .expect("record");
+        }
+        drop(ckpt);
+        // Truncate the file mid-way through the last entry (a torn tail
+        // from a non-atomic writer or filesystem).
+        let contents = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &contents[..contents.len() - 20]).expect("truncate");
+
+        // Resume: the torn entry is gone, the intact prefix survives.
+        let mut ckpt = ExperimentCheckpoint::load(&path).expect("resume from torn tail");
+        assert_eq!(ckpt.len(), 1);
+        assert!(ckpt.lookup("e1", 1, "").is_some());
+        assert!(ckpt.lookup("e2", 1, "").is_none(), "torn entry dropped");
+
+        // Recording again rewrites the whole journal atomically: the
+        // file on disk is complete and fully parseable afterwards.
+        ckpt.record(CheckpointEntry {
+            id: "e3".into(),
+            seed: 1,
+            faults: String::new(),
+            table: table("e3"),
+        })
+        .expect("record heals");
+        drop(ckpt);
+        let healed = ExperimentCheckpoint::load(&path).expect("healed journal loads");
+        assert_eq!(healed.len(), 2);
+        assert!(healed.lookup("e1", 1, "").is_some());
+        assert!(healed.lookup("e3", 1, "").is_some());
+        // No half-written garbage anywhere: every line parses.
+        let contents = std::fs::read_to_string(&path).expect("read");
+        for line in contents.lines() {
+            serde_json::from_str::<CheckpointEntry>(line).expect("every line is complete");
+        }
+    }
+
+    #[test]
+    fn stale_temp_file_is_ignored_and_replaced() {
+        let path = tmp("stale-tmp.jsonl");
+        let tmp_path = path.with_file_name("stale-tmp.jsonl.tmp");
+        // A crash between temp-write and rename leaves a .tmp behind; it
+        // must not confuse a later run.
+        std::fs::write(&tmp_path, "half-written garbage").expect("write stale tmp");
+        let mut ckpt = ExperimentCheckpoint::load(&path).expect("load ignores stale tmp");
+        assert!(ckpt.is_empty());
+        ckpt.record(CheckpointEntry {
+            id: "e1".into(),
+            seed: 9,
+            faults: String::new(),
+            table: table("e1"),
+        })
+        .expect("record replaces stale tmp");
+        assert!(!tmp_path.exists(), "temp file renamed away");
+        let reloaded = ExperimentCheckpoint::load(&path).expect("reload");
+        assert_eq!(reloaded.len(), 1);
+        let _ = std::fs::remove_file(&tmp_path);
     }
 
     #[test]

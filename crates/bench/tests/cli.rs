@@ -227,6 +227,93 @@ fn empty_only_env_var_exits_2() {
     assert!(stderr.contains("RESILIENCE_ONLY"), "stderr: {stderr}");
 }
 
+fn report_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("resilience-report-json-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn report_json_writes_the_supervised_run_report() {
+    let path = report_path("chaos.json");
+    let out = experiments()
+        .args([
+            "--fault-plan",
+            "seed=7,panic=0.05,times=2",
+            "--report-json",
+            path.to_str().expect("utf8 path"),
+            "--json",
+            "e8",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let raw = std::fs::read_to_string(&path).expect("report file written");
+    let reports: serde_json::Value = serde_json::from_str(&raw).expect("valid JSON");
+    let reports = reports.as_array().expect("a JSON array of reports");
+    assert_eq!(reports.len(), 1, "one report per experiment run");
+    let report = &reports[0];
+    assert_eq!(report["experiment"].as_str(), Some("e8"));
+    assert!(report["trials"].as_u64().expect("trials") > 0);
+    assert!(report["attempts"].as_u64().expect("attempts") > 0);
+    assert!(
+        report["faults_injected"].as_u64().expect("faults") > 0,
+        "the plan must actually injure the run"
+    );
+    let r = report["resilience_loss"].as_f64().expect("resilience loss");
+    assert!(
+        r.is_finite() && r > 0.0,
+        "injected faults must cost quality"
+    );
+    assert!(
+        report["health"].as_object().is_some(),
+        "health trajectory present"
+    );
+    assert!(report["lost"].as_array().is_some(), "lost trials present");
+}
+
+#[test]
+fn report_json_without_a_fault_plan_records_a_clean_trajectory() {
+    let path = report_path("clean.json");
+    let out = experiments()
+        .args([
+            "--report-json",
+            path.to_str().expect("utf8 path"),
+            "--json",
+            "e8",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let raw = std::fs::read_to_string(&path).expect("report file written");
+    let reports: serde_json::Value = serde_json::from_str(&raw).expect("valid JSON");
+    let report = &reports.as_array().expect("array")[0];
+    assert_eq!(report["faults_injected"].as_u64(), Some(0));
+    assert_eq!(
+        report["resilience_loss"].as_f64(),
+        Some(0.0),
+        "a fault-free run loses no quality"
+    );
+}
+
+#[test]
+fn report_json_without_path_exits_2() {
+    let out = experiments()
+        .arg("--report-json")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--report-json"), "stderr: {stderr}");
+}
+
 #[test]
 fn help_exits_0() {
     let out = experiments().arg("--help").output().expect("binary runs");

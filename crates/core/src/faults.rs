@@ -422,6 +422,15 @@ impl FaultConfig {
     }
 }
 
+/// Displays the canonical spec ([`FaultConfig::to_spec`]), so
+/// `FaultConfig::parse(cfg.to_string())` round-trips any config whose
+/// durations are whole milliseconds (the spec's unit).
+impl fmt::Display for FaultConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_spec())
+    }
+}
+
 fn parse_rate(value: &str) -> Option<f64> {
     value
         .parse::<f64>()
@@ -483,6 +492,12 @@ impl fmt::Display for FailureCause {
     }
 }
 
+impl serde::Serialize for FailureCause {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
+    }
+}
+
 /// A trial slot that exhausted its retry budget and was abandoned.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LostTrial {
@@ -494,6 +509,20 @@ pub struct LostTrial {
     pub cause: FailureCause,
     /// Human-readable detail (e.g. the panic message).
     pub detail: String,
+}
+
+impl serde::Serialize for LostTrial {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("stream".to_string(), serde::Value::UInt(self.stream)),
+            ("trial".to_string(), serde::Value::UInt(self.trial)),
+            ("cause".to_string(), self.cause.serialize()),
+            (
+                "detail".to_string(),
+                serde::Value::String(self.detail.clone()),
+            ),
+        ])
+    }
 }
 
 /// One adjudicated attempt, in the supervisor's knowledge base.
@@ -585,6 +614,33 @@ impl RunReport {
             health.push(FULL_QUALITY * healthy as f64 / n_trials as f64);
         }
         health
+    }
+}
+
+/// The JSON rendering (`experiments --report-json`) is the report's
+/// fields plus the *computed* `resilience_loss`, so downstream tooling
+/// reads `R` directly instead of re-integrating the trajectory.
+impl serde::Serialize for RunReport {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "experiment".to_string(),
+                serde::Value::String(self.experiment.clone()),
+            ),
+            ("trials".to_string(), serde::Value::UInt(self.trials)),
+            ("attempts".to_string(), serde::Value::UInt(self.attempts)),
+            (
+                "faults_injected".to_string(),
+                serde::Value::UInt(self.faults_injected),
+            ),
+            ("recovered".to_string(), serde::Value::UInt(self.recovered)),
+            ("lost".to_string(), self.lost.serialize()),
+            (
+                "resilience_loss".to_string(),
+                serde::Value::Float(self.resilience_loss()),
+            ),
+            ("health".to_string(), self.health.serialize()),
+        ])
     }
 }
 

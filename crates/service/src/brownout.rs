@@ -1,0 +1,189 @@
+//! Self-scored brownout control.
+//!
+//! Brownout (Klein et al.; De Florio's quality indicators, PAPERS.md)
+//! trades response quality for survival: under pressure the service
+//! dims optional work instead of queueing toward collapse. The
+//! controller here is *self-scored*: its pressure signal is the
+//! involuntary part of the per-tick Bruneau integrand — the fraction of
+//! adjudications shed or hard-failed — blended with queue occupancy as
+//! the leading indicator, so the serving layer steers by the same
+//! quality accounting it is judged on. The *planned* degradation
+//! penalties (reduced/cached responses) are deliberately excluded from
+//! the signal: feeding them back would be a positive feedback loop in
+//! which a fully-dimmed service reads its own cached responses as
+//! pressure and never recovers.
+//!
+//! Three dimmer levels:
+//!
+//! * **0 — full**: every request runs the full backend computation.
+//! * **1 — reduced**: backends run at `1/divisor` of the trials.
+//! * **2 — cached**: responses come from precomputed per-family tables;
+//!   the backends see no new work at all.
+//!
+//! Level changes are hysteretic (raise above `raise_above`, lower below
+//! `lower_below`, with a minimum dwell) so the dimmer cannot flap, and
+//! every input is a logical-clock quantity — the level sequence replays
+//! exactly for any thread budget.
+
+/// Configuration of the brownout controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrownoutConfig {
+    /// EMA smoothing factor for the pressure signal, in `(0, 1]`.
+    pub alpha: f64,
+    /// Raise the dimmer one level when smoothed pressure exceeds this.
+    pub raise_above: f64,
+    /// Lower the dimmer one level when smoothed pressure falls below.
+    pub lower_below: f64,
+    /// Minimum ticks between level changes.
+    pub dwell: u64,
+    /// Trial divisor at level 1 (reduced fidelity).
+    pub reduced_divisor: u64,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            alpha: 0.25,
+            raise_above: 0.15,
+            lower_below: 0.03,
+            dwell: 8,
+            reduced_divisor: 4,
+        }
+    }
+}
+
+/// The dimmer state machine.
+#[derive(Debug, Clone)]
+pub struct BrownoutController {
+    config: BrownoutConfig,
+    level: u8,
+    pressure: f64,
+    last_change: u64,
+    history: Vec<(u64, u8)>,
+}
+
+impl BrownoutController {
+    /// A controller at level 0 (full fidelity) with zero pressure.
+    pub fn new(config: BrownoutConfig) -> Self {
+        BrownoutController {
+            config,
+            level: 0,
+            pressure: 0.0,
+            last_change: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Current dimmer level (0 = full, 1 = reduced, 2 = cached).
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Smoothed pressure signal in `[0, 1]`.
+    pub fn pressure(&self) -> f64 {
+        self.pressure
+    }
+
+    /// `(tick, new level)` for every change so far.
+    pub fn history(&self) -> &[(u64, u8)] {
+        &self.history
+    }
+
+    /// Feed one tick of self-measurement: `deficit` is the tick's
+    /// *involuntary* quality deficit (the fraction of adjudications
+    /// shed or hard-failed — planned degradation excluded), `occupancy`
+    /// the worst bulkhead queue occupancy. The controller smooths the
+    /// larger of the two (either signal alone is a reason to dim) and
+    /// moves the dimmer one level with hysteresis and dwell.
+    pub fn observe(&mut self, tick: u64, deficit: f64, occupancy: f64) {
+        let raw = deficit.max(occupancy).clamp(0.0, 1.0);
+        self.pressure = self.config.alpha * raw + (1.0 - self.config.alpha) * self.pressure;
+        let dwelled = tick.saturating_sub(self.last_change) >= self.config.dwell;
+        if !dwelled {
+            return;
+        }
+        if self.pressure > self.config.raise_above && self.level < 2 {
+            self.level += 1;
+            self.last_change = tick;
+            self.history.push((tick, self.level));
+        } else if self.pressure < self.config.lower_below && self.level > 0 {
+            self.level -= 1;
+            self.last_change = tick;
+            self.history.push((tick, self.level));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> BrownoutController {
+        BrownoutController::new(BrownoutConfig {
+            dwell: 2,
+            ..BrownoutConfig::default()
+        })
+    }
+
+    #[test]
+    fn sustained_pressure_raises_level_stepwise() {
+        let mut c = controller();
+        let mut tick = 0;
+        while c.level() < 2 && tick < 200 {
+            c.observe(tick, 0.8, 0.0);
+            tick += 1;
+        }
+        assert_eq!(c.level(), 2, "sustained deficit must reach level 2");
+        // Stepwise: history shows 1 then 2, never a jump.
+        let levels: Vec<u8> = c.history().iter().map(|&(_, l)| l).collect();
+        assert_eq!(levels, vec![1, 2]);
+    }
+
+    #[test]
+    fn calm_recovers_to_full_fidelity() {
+        let mut c = controller();
+        for t in 0..50 {
+            c.observe(t, 0.9, 0.9);
+        }
+        assert_eq!(c.level(), 2);
+        for t in 50..300 {
+            c.observe(t, 0.0, 0.0);
+        }
+        assert_eq!(c.level(), 0, "pressure gone, dimmer must reopen");
+    }
+
+    #[test]
+    fn occupancy_alone_is_a_dimming_signal() {
+        let mut c = controller();
+        for t in 0..100 {
+            c.observe(t, 0.0, 0.8);
+        }
+        assert!(c.level() > 0, "full queues must dim even before sheds");
+    }
+
+    #[test]
+    fn dwell_limits_change_rate() {
+        let mut c = BrownoutController::new(BrownoutConfig {
+            dwell: 10,
+            ..BrownoutConfig::default()
+        });
+        for t in 0..10 {
+            c.observe(t, 1.0, 1.0);
+        }
+        assert!(c.level() <= 1, "dwell must prevent back-to-back raises");
+    }
+
+    #[test]
+    fn hysteresis_band_holds_level() {
+        let mut c = controller();
+        for t in 0..60 {
+            c.observe(t, 0.9, 0.0);
+        }
+        let level = c.level();
+        // Pressure inside the band (between thresholds): no movement.
+        for t in 60..200 {
+            c.observe(t, 0.08, 0.0);
+        }
+        assert_eq!(c.level(), level, "mid-band pressure must hold the level");
+    }
+}

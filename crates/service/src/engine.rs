@@ -1,0 +1,615 @@
+//! The graceful-degradation service engine.
+//!
+//! [`ServiceEngine::serve`] replays an open-loop [`RequestTrace`]
+//! against the backend engines on a discrete logical clock. Per tick:
+//!
+//! 1. every family bulkhead advances one tick of logical service;
+//!    completed requests execute their backend computation (a seeded
+//!    Monte Carlo fold on the configured thread budget) and are
+//!    adjudicated against the fault plan and the family's circuit
+//!    breaker;
+//! 2. the tick's arrivals pass admission control — bulkhead bounds,
+//!    deadline feasibility, breaker state, and the brownout dimmer —
+//!    and are admitted (possibly degraded), answered from cache, or
+//!    explicitly shed;
+//! 3. the tick's quality sample `Q(t)` is recorded and fed back to the
+//!    brownout controller (self-scored control).
+//!
+//! **Determinism contract.** Every decision reads only logical-clock
+//! state: arrival ticks, work units, seeded fault lookups, and breaker/
+//! dimmer state derived from them. The only parallelism is inside the
+//! backend computation, which uses [`ParallelTrials`] and is therefore
+//! bit-identical for any thread budget. Consequently the entire
+//! per-request outcome log — dispositions, latencies, *and* backend
+//! values — replays exactly for any `threads`, which is what the replay
+//! tests assert.
+//!
+//! **Q(t) definition.** For a tick with `n > 0` adjudications,
+//! `Q(t) = 100 · (1 − deficit/n)` where each shed or failed request
+//! contributes `1.0` to the deficit and each degraded response
+//! contributes [`ServiceConfig::reduced_penalty`] or
+//! [`ServiceConfig::cached_penalty`]; ticks with no adjudications
+//! sample 100 (no demand went unserved). The run's resilience loss is
+//! `bruneau::resilience_loss` over this trajectory — the service scores
+//! its own resilience triangle.
+
+use rand::Rng;
+use resilience_core::bruneau::resilience_loss;
+use resilience_core::faults::{FaultKind, FaultPlan, SlotFault};
+use resilience_core::quality::{QualityTrajectory, FULL_QUALITY};
+use resilience_core::rng::derive_seed;
+use resilience_core::runtime::ParallelTrials;
+
+use crate::breaker::{BreakerTransition, CircuitBreaker};
+use crate::brownout::{BrownoutConfig, BrownoutController};
+use crate::bulkhead::{Bulkhead, Job};
+use crate::request::{Disposition, Fidelity, Request, RequestOutcome, RequestTrace, ShedReason};
+
+/// Tuning of the serving layer. All quantities are logical-clock units;
+/// `threads` is the only physical knob and never changes any output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Logical servers dedicated to each family bulkhead.
+    pub servers_per_family: usize,
+    /// Work units one logical server retires per tick.
+    pub rate_per_server: u64,
+    /// Queue slots per family bulkhead.
+    pub queue_capacity: usize,
+    /// Consecutive backend failures that trip a family's breaker.
+    pub breaker_threshold: u32,
+    /// Ticks a tripped breaker stays open before probing.
+    pub breaker_cooldown: u64,
+    /// Whether graceful degradation (brownout + cached fallbacks) is on.
+    /// Off, the service can only serve at full fidelity or say no — the
+    /// ablation arm of the BENCH_4 comparison.
+    pub degradation: bool,
+    /// Brownout controller tuning (unused when `degradation` is off).
+    pub brownout: BrownoutConfig,
+    /// Quality deficit charged for a reduced-fidelity response.
+    pub reduced_penalty: f64,
+    /// Quality deficit charged for a cached response.
+    pub cached_penalty: f64,
+    /// Monte Carlo trials per work unit in the backend computation.
+    pub trials_per_work_unit: u64,
+    /// Physical worker threads for backend computations.
+    pub threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            servers_per_family: 2,
+            rate_per_server: 8,
+            queue_capacity: 16,
+            breaker_threshold: 3,
+            breaker_cooldown: 30,
+            degradation: true,
+            brownout: BrownoutConfig::default(),
+            reduced_penalty: 0.25,
+            cached_penalty: 0.5,
+            trials_per_work_unit: 16,
+            threads: 1,
+        }
+    }
+}
+
+/// Per-family tallies in the final report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FamilyStats {
+    /// Requests addressed to the family.
+    pub arrivals: u64,
+    /// Served at full fidelity.
+    pub served_full: u64,
+    /// Served reduced.
+    pub served_reduced: u64,
+    /// Served from cache.
+    pub served_cached: u64,
+    /// Shed at admission.
+    pub shed: u64,
+    /// Hard backend failures (degradation off only).
+    pub failed: u64,
+}
+
+/// The run's complete, deterministic self-measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Per-request outcomes in request-id order; the replayable log.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Per-family tallies, indexed like the trace's family table.
+    pub per_family: Vec<FamilyStats>,
+    /// Breaker transitions per family.
+    pub breaker_transitions: Vec<Vec<BreakerTransition>>,
+    /// Brownout level changes `(tick, level)`.
+    pub brownout_history: Vec<(u64, u8)>,
+    /// The Q(t) trajectory (dt = 1 tick).
+    pub quality: QualityTrajectory,
+    /// Logical ticks the run spanned.
+    pub ticks: u64,
+}
+
+impl ServiceReport {
+    /// The run's Bruneau resilience loss `R = ∫ [100 − Q(t)] dt`.
+    pub fn resilience_loss(&self) -> f64 {
+        resilience_loss(&self.quality)
+    }
+
+    /// Requests served at any fidelity.
+    pub fn served(&self) -> u64 {
+        self.per_family
+            .iter()
+            .map(|f| f.served_full + f.served_reduced + f.served_cached)
+            .sum()
+    }
+
+    /// Requests served degraded (reduced or cached).
+    pub fn degraded(&self) -> u64 {
+        self.per_family
+            .iter()
+            .map(|f| f.served_reduced + f.served_cached)
+            .sum()
+    }
+
+    /// Requests shed at admission.
+    pub fn shed(&self) -> u64 {
+        self.per_family.iter().map(|f| f.shed).sum()
+    }
+
+    /// Hard backend failures (always 0 with degradation on).
+    pub fn failed(&self) -> u64 {
+        self.per_family.iter().map(|f| f.failed).sum()
+    }
+
+    /// Total requests adjudicated.
+    pub fn total(&self) -> u64 {
+        self.per_family.iter().map(|f| f.arrivals).sum()
+    }
+
+    /// Served fraction of all requests (any fidelity).
+    pub fn goodput(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        self.served() as f64 / total as f64
+    }
+
+    /// Shed fraction of all requests.
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.shed() as f64 / total as f64
+    }
+
+    /// Mean latency over served requests in ticks (0 if none served).
+    pub fn mean_latency(&self) -> f64 {
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for o in &self.outcomes {
+            if let Disposition::Served { latency, .. } = o.disposition {
+                sum += latency;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+}
+
+/// A request admitted to a bulkhead, waiting for its logical completion.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    request: Request,
+    fidelity: Fidelity,
+    /// The fault adjudicated against this request (looked up once at
+    /// admission; pure function of the plan and the request id).
+    fault: Option<FaultKind>,
+}
+
+/// The serving front end: bulkheads, breakers, and the brownout dimmer
+/// over a set of backend families.
+#[derive(Debug)]
+pub struct ServiceEngine {
+    config: ServiceConfig,
+}
+
+impl ServiceEngine {
+    /// An engine with the given tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`, `servers_per_family == 0`, or
+    /// `rate_per_server == 0` (delegated to the bulkhead and runtime
+    /// constructors).
+    pub fn new(config: ServiceConfig) -> Self {
+        assert!(config.threads >= 1, "thread budget must be at least 1");
+        ServiceEngine { config }
+    }
+
+    /// Replay `trace` under `plan`, returning the deterministic report.
+    ///
+    /// The plan is keyed by `(family label, trace seed, request id)` —
+    /// the same slot-key scheme as the Monte Carlo supervisor — so a
+    /// given chaos plan damages the same requests no matter how the
+    /// service schedules them.
+    pub fn serve(&self, trace: &RequestTrace, plan: &FaultPlan) -> ServiceReport {
+        let cfg = &self.config;
+        let n_families = trace.families.len().max(1);
+        let pool = ParallelTrials::new(cfg.threads);
+        let backend_master = derive_seed(trace.seed, 0xbac0);
+
+        // Precomputed per-family cache tables: the level-2 / fallback
+        // answer. Deterministic (seeded) and computed before the clock
+        // starts, so cache hits cost zero backend work during the run.
+        let cached_values: Vec<u64> = (0..n_families)
+            .map(|fam| {
+                let seed = derive_seed(backend_master, 0xcafe + fam as u64);
+                Self::backend_value(&pool, seed, 64)
+            })
+            .collect();
+
+        let mut bulkheads: Vec<Bulkhead> = (0..n_families)
+            .map(|_| {
+                Bulkhead::new(
+                    cfg.queue_capacity,
+                    cfg.servers_per_family,
+                    cfg.rate_per_server,
+                )
+            })
+            .collect();
+        let mut breakers: Vec<CircuitBreaker> = (0..n_families)
+            .map(|_| CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown))
+            .collect();
+        let mut brownout = BrownoutController::new(cfg.brownout.clone());
+
+        let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
+        let mut per_family = vec![FamilyStats::default(); n_families];
+        let mut in_flight: Vec<Option<InFlight>> = vec![None; trace.len()];
+        let mut quality = QualityTrajectory::new(1.0);
+        let mut next_arrival = 0usize; // index into trace.requests
+
+        let mut tick = 0u64;
+        let mut pending = trace.len() as u64;
+        // Hard ceiling so a logic bug can never hang the run: every tick
+        // with outstanding work retires at least one work unit somewhere
+        // once arrivals stop.
+        let total_work: u64 = trace.requests.iter().map(|r| r.cost).sum();
+        let delay_work = plan.delay.as_millis() as u64 * cfg.rate_per_server;
+        let tick_ceiling = trace
+            .horizon()
+            .saturating_add(total_work)
+            .saturating_add(trace.len() as u64 * delay_work)
+            .saturating_add(cfg.breaker_cooldown + 1000);
+
+        while pending > 0 {
+            assert!(
+                tick <= tick_ceiling,
+                "service engine failed to converge by tick {tick}"
+            );
+            let mut deficit = 0.0f64;
+            // Sheds and hard failures only — the involuntary part of the
+            // deficit. The brownout controller must steer by this (plus
+            // occupancy), not the full deficit: counting its own planned
+            // degradation as pressure would be a positive feedback loop
+            // that never lets the dimmer recover (at level 2 every
+            // response charges `cached_penalty`, which would hold the
+            // pressure above the raise threshold forever).
+            let mut hard = 0u64;
+            let mut adjudicated = 0u64;
+
+            // --- 1. Advance service; adjudicate completions. ---------
+            for fam in 0..n_families {
+                for job in bulkheads[fam].tick() {
+                    let idx = usize::try_from(job.id).expect("request id fits usize");
+                    let flight = in_flight[idx].take().expect("completed job was in flight");
+                    let (disposition, penalty) = self.adjudicate(
+                        &pool,
+                        backend_master,
+                        &cached_values,
+                        &mut breakers,
+                        &flight,
+                        tick,
+                    );
+                    match &disposition {
+                        Disposition::Served { fidelity, .. } => match fidelity {
+                            Fidelity::Full => per_family[fam].served_full += 1,
+                            Fidelity::Reduced => per_family[fam].served_reduced += 1,
+                            Fidelity::Cached => per_family[fam].served_cached += 1,
+                        },
+                        Disposition::Failed { .. } => {
+                            per_family[fam].failed += 1;
+                            hard += 1;
+                        }
+                        Disposition::Shed { .. } => unreachable!("completions are never shed"),
+                    }
+                    outcomes[idx] = Some(RequestOutcome {
+                        id: flight.request.id,
+                        family: fam,
+                        decided_at: tick,
+                        disposition,
+                    });
+                    deficit += penalty;
+                    adjudicated += 1;
+                    pending -= 1;
+                }
+            }
+
+            // --- 2. Admit this tick's arrivals, in trace order. ------
+            while next_arrival < trace.len() && trace.requests[next_arrival].arrival == tick {
+                let request = trace.requests[next_arrival];
+                next_arrival += 1;
+                let fam = request.family.min(n_families - 1);
+                per_family[fam].arrivals += 1;
+                let fault = plan.slot_fault(&trace.families[fam], trace.seed, request.id);
+                let decision = self.admit(
+                    &mut bulkheads[fam],
+                    &mut breakers[fam],
+                    &brownout,
+                    &request,
+                    fault,
+                    cached_values[fam],
+                    delay_work,
+                    tick,
+                );
+                let idx = usize::try_from(request.id).expect("request id fits usize");
+                match decision {
+                    Admission::Enqueued(flight) => {
+                        in_flight[idx] = Some(flight);
+                    }
+                    Admission::Immediate(disposition, penalty) => {
+                        if let Disposition::Shed { .. } = disposition {
+                            per_family[fam].shed += 1;
+                            hard += 1;
+                        } else {
+                            per_family[fam].served_cached += 1;
+                        }
+                        outcomes[idx] = Some(RequestOutcome {
+                            id: request.id,
+                            family: fam,
+                            decided_at: tick,
+                            disposition,
+                        });
+                        deficit += penalty;
+                        adjudicated += 1;
+                        pending -= 1;
+                    }
+                }
+            }
+
+            // --- 3. Sample Q(t); feed the self-scored controller. ----
+            let q = if adjudicated == 0 {
+                FULL_QUALITY
+            } else {
+                FULL_QUALITY * (1.0 - deficit / adjudicated as f64)
+            };
+            quality.push(q);
+            if cfg.degradation {
+                let occupancy = bulkheads
+                    .iter()
+                    .map(Bulkhead::occupancy)
+                    .fold(0.0f64, f64::max);
+                let hard_deficit = if adjudicated == 0 {
+                    0.0
+                } else {
+                    hard as f64 / adjudicated as f64
+                };
+                brownout.observe(tick, hard_deficit, occupancy);
+            }
+            tick += 1;
+        }
+
+        let outcomes: Vec<RequestOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every request adjudicated"))
+            .collect();
+        ServiceReport {
+            outcomes,
+            per_family,
+            breaker_transitions: breakers.iter().map(|b| b.transitions().to_vec()).collect(),
+            brownout_history: brownout.history().to_vec(),
+            quality,
+            ticks: tick,
+        }
+    }
+
+    /// Admission control for one arrival. Returns either the in-flight
+    /// record (enqueued on the bulkhead) or an immediate disposition
+    /// (cached answer or shed) plus its quality penalty.
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &self,
+        bulkhead: &mut Bulkhead,
+        breaker: &mut CircuitBreaker,
+        brownout: &BrownoutController,
+        request: &Request,
+        fault: Option<SlotFault>,
+        cached_value: u64,
+        delay_work: u64,
+        tick: u64,
+    ) -> Admission {
+        let cfg = &self.config;
+        let fault_kind = fault.map(|f| f.kind);
+
+        // Breaker gate first: a tripped backend accepts no new work.
+        if !breaker.allow(tick) {
+            return if cfg.degradation {
+                // Brownout the failure: answer from cache rather than
+                // turning the caller away.
+                Admission::Immediate(
+                    Disposition::Served {
+                        fidelity: Fidelity::Cached,
+                        latency: 0,
+                        value: cached_value,
+                    },
+                    cfg.cached_penalty,
+                )
+            } else {
+                Admission::Immediate(
+                    Disposition::Shed {
+                        reason: ShedReason::BreakerOpen,
+                    },
+                    1.0,
+                )
+            };
+        }
+
+        // Candidate fidelities, cheapest-last: the dimmer level picks
+        // the starting fidelity; under pressure admission may degrade
+        // one step further to fit the deadline, and level 2 answers
+        // from cache outright.
+        let level = if cfg.degradation { brownout.level() } else { 0 };
+        if cfg.degradation && level >= 2 {
+            return Admission::Immediate(
+                Disposition::Served {
+                    fidelity: Fidelity::Cached,
+                    latency: 0,
+                    value: cached_value,
+                },
+                cfg.cached_penalty,
+            );
+        }
+        let mut candidates: Vec<Fidelity> = Vec::with_capacity(2);
+        if level == 0 {
+            candidates.push(Fidelity::Full);
+        }
+        if cfg.degradation && level <= 1 {
+            candidates.push(Fidelity::Reduced);
+        }
+
+        if bulkhead.queue_full() {
+            return Admission::Immediate(
+                Disposition::Shed {
+                    reason: ShedReason::QueueFull,
+                },
+                1.0,
+            );
+        }
+        for fidelity in candidates {
+            let work = Self::effective_work(cfg, request.cost, fidelity)
+                + if fault_kind == Some(FaultKind::Delay) {
+                    delay_work
+                } else {
+                    0
+                };
+            if bulkhead.estimated_completion_ticks(work) <= request.deadline {
+                bulkhead.admit(Job {
+                    id: request.id,
+                    work,
+                });
+                breaker.on_admitted();
+                return Admission::Enqueued(InFlight {
+                    request: *request,
+                    fidelity,
+                    fault: fault_kind,
+                });
+            }
+        }
+        Admission::Immediate(
+            Disposition::Shed {
+                reason: ShedReason::DeadlineUnmeetable,
+            },
+            1.0,
+        )
+    }
+
+    /// Adjudicate a logically-completed request: run (or skip) the
+    /// backend computation, consult the fault plan, update the breaker,
+    /// and produce the disposition plus its quality penalty.
+    fn adjudicate(
+        &self,
+        pool: &ParallelTrials,
+        backend_master: u64,
+        cached_values: &[u64],
+        breakers: &mut [CircuitBreaker],
+        flight: &InFlight,
+        tick: u64,
+    ) -> (Disposition, f64) {
+        let cfg = &self.config;
+        let request = &flight.request;
+        let fam = request.family.min(breakers.len() - 1);
+        let latency = tick.saturating_sub(request.arrival);
+        match flight.fault {
+            Some(FaultKind::Panic) | Some(FaultKind::Poison) => {
+                breakers[fam].record_failure(tick);
+                let cause = match flight.fault {
+                    Some(FaultKind::Panic) => "backend-panic",
+                    _ => "poisoned-result",
+                };
+                if cfg.degradation {
+                    // Graceful fallback: the cached table answers for
+                    // the broken backend; degraded, never an error.
+                    (
+                        Disposition::Served {
+                            fidelity: Fidelity::Cached,
+                            latency,
+                            value: cached_values[fam],
+                        },
+                        cfg.cached_penalty,
+                    )
+                } else {
+                    (
+                        Disposition::Failed {
+                            cause: cause.to_string(),
+                        },
+                        1.0,
+                    )
+                }
+            }
+            // Delay faults only inflate the logical service time (added
+            // at admission); the computation itself is healthy.
+            Some(FaultKind::Delay) | None => {
+                breakers[fam].record_success(tick);
+                let trials = Self::effective_work(cfg, request.cost, flight.fidelity)
+                    * cfg.trials_per_work_unit;
+                let value =
+                    Self::backend_value(pool, derive_seed(backend_master, request.id), trials);
+                (
+                    Disposition::Served {
+                        fidelity: flight.fidelity,
+                        latency,
+                        value,
+                    },
+                    match flight.fidelity {
+                        Fidelity::Full => 0.0,
+                        Fidelity::Reduced => cfg.reduced_penalty,
+                        Fidelity::Cached => cfg.cached_penalty,
+                    },
+                )
+            }
+        }
+    }
+
+    /// Work units actually scheduled for a request at `fidelity`.
+    fn effective_work(cfg: &ServiceConfig, cost: u64, fidelity: Fidelity) -> u64 {
+        match fidelity {
+            Fidelity::Full => cost.max(1),
+            Fidelity::Reduced => (cost / cfg.brownout.reduced_divisor.max(1)).max(1),
+            Fidelity::Cached => 0,
+        }
+    }
+
+    /// The backend computation: an XOR fold of seeded Monte Carlo
+    /// draws on the physical thread pool — bit-identical for any thread
+    /// budget by the runtime's determinism contract.
+    fn backend_value(pool: &ParallelTrials, seed: u64, trials: u64) -> u64 {
+        pool.run(
+            trials,
+            seed,
+            |idx, rng| idx.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ rng.gen::<u64>(),
+            0u64,
+            |acc, x| acc ^ x,
+        )
+    }
+}
+
+/// Outcome of admission control for one arrival.
+enum Admission {
+    /// Admitted to the bulkhead; will complete on a later tick.
+    Enqueued(InFlight),
+    /// Decided on the spot (cached answer or shed) with its penalty.
+    Immediate(Disposition, f64),
+}

@@ -21,6 +21,9 @@
 //! * [`stats`] — heavy-tail statistics and early-warning signals.
 //! * [`engineering`] — RAID-style storage, N-version controllers, power
 //!   grids, supply chains, MAPE-K loops, portfolios.
+//! * [`service`] — the graceful-degradation serving layer: deadline-aware
+//!   admission control, per-family bulkheads, circuit breakers, and a
+//!   self-scored brownout controller over the experiment engines.
 //!
 //! # Quickstart
 //!
@@ -41,4 +44,5 @@ pub use resilience_dcsp as dcsp;
 pub use resilience_ecology as ecology;
 pub use resilience_engineering as engineering;
 pub use resilience_networks as networks;
+pub use resilience_service as service;
 pub use resilience_stats as stats;

@@ -5,6 +5,12 @@
 //! any thread budget. This is the invariant that lets `--fault-plan`
 //! serve as a chaos test: if the table changes under recoverable chaos,
 //! the supervisor dropped, duplicated, or mis-seeded a trial.
+//!
+//! Also here: the fault-spec grammar contract. `FaultConfig`'s
+//! `Display` is the canonical spec, and the strict parser must invert
+//! it exactly (`parse(cfg.to_string()) == cfg`) for any config whose
+//! durations are whole milliseconds — the spec's unit — while malformed
+//! specs must be rejected with an error naming the offending token.
 
 use std::time::Duration;
 
@@ -79,5 +85,118 @@ proptest! {
                 prop_assert!(report.recovered > 0);
             }
         }
+    }
+}
+
+/// Every key the spec grammar understands.
+const KNOWN_KEYS: [&str; 11] = [
+    "seed",
+    "panic",
+    "delay",
+    "poison",
+    "permanent",
+    "delay_ms",
+    "times",
+    "retries",
+    "backoff_ms",
+    "backoff_cap_ms",
+    "deadline_ms",
+];
+
+/// Lowercase-letter word derived from `n` (base-26), at least 2 chars —
+/// the vendored proptest has no string strategies, so random words are
+/// drawn as integers and rendered here.
+fn word(mut n: u64) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((b'a' + (n % 26) as u8) as char);
+        n /= 26;
+        if n == 0 && s.len() >= 2 {
+            return s;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse` inverts `Display` exactly: the canonical spec re-parses
+    /// to a bit-identical config. Rates are drawn in thousandths so the
+    /// four together never exceed 1.0 (the plan's validity bound);
+    /// durations are whole milliseconds, the spec's unit; a zero
+    /// deadline draw stands for "no deadline" (the spec omits the key).
+    #[test]
+    fn fault_spec_display_round_trips_through_parse(
+        seed in any::<u64>(),
+        panic_m in 0u32..=250,
+        delay_m in 0u32..=250,
+        poison_m in 0u32..=250,
+        permanent_m in 0u32..=250,
+        delay_ms in 0u64..=50,
+        times in 1u32..=4,
+        retries in 0u32..=6,
+        backoff_ms in 0u64..=20,
+        backoff_cap_ms in 0u64..=64,
+        deadline_ms in 0u64..=500,
+    ) {
+        let cfg = FaultConfig {
+            plan: FaultPlan {
+                seed,
+                panic_rate: f64::from(panic_m) / 1000.0,
+                delay_rate: f64::from(delay_m) / 1000.0,
+                poison_rate: f64::from(poison_m) / 1000.0,
+                permanent_rate: f64::from(permanent_m) / 1000.0,
+                delay: Duration::from_millis(delay_ms),
+                transient_attempts: times,
+            },
+            policy: RecoveryPolicy {
+                retries,
+                backoff: Duration::from_millis(backoff_ms),
+                backoff_cap: Duration::from_millis(backoff_cap_ms),
+                deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+            },
+        };
+        let spec = cfg.to_string();
+        let reparsed = FaultConfig::parse(&spec)
+            .unwrap_or_else(|e| panic!("canonical spec `{spec}` must parse: {e}"));
+        prop_assert!(reparsed == cfg, "spec `{}` did not round-trip: {:?}", spec, reparsed);
+    }
+
+    /// An unknown key is rejected, and the error names the exact
+    /// offending token so the user can find it in a long spec. The `zz`
+    /// prefix guarantees the key collides with no known key.
+    #[test]
+    fn unknown_keys_are_rejected_naming_the_token(
+        key_word in any::<u64>(),
+        value in any::<u32>(),
+    ) {
+        let token = format!("zz{}={value}", word(key_word));
+        let err = FaultConfig::parse(&format!("seed=1,panic=0.1,{token}"))
+            .expect_err("unknown key must be rejected");
+        let msg = err.to_string();
+        prop_assert!(msg.contains(&token), "error `{}` does not name `{}`", msg, token);
+    }
+
+    /// A known key with an unparseable (letters-only) value is
+    /// rejected, and the error names the exact offending token.
+    #[test]
+    fn bad_values_are_rejected_naming_the_token(
+        key_idx in 0usize..KNOWN_KEYS.len(),
+        garbage in any::<u64>(),
+    ) {
+        let token = format!("{}=x{}", KNOWN_KEYS[key_idx], word(garbage));
+        let err = FaultConfig::parse(&token).expect_err("garbage value must be rejected");
+        let msg = err.to_string();
+        prop_assert!(msg.contains(&token), "error `{}` does not name `{}`", msg, token);
+    }
+
+    /// A token with no `=` at all is rejected, naming the token.
+    #[test]
+    fn keyless_tokens_are_rejected_naming_the_token(raw in any::<u64>()) {
+        let token = word(raw);
+        let err = FaultConfig::parse(&format!("seed=1,{token}"))
+            .expect_err("key-only token must be rejected");
+        let msg = err.to_string();
+        prop_assert!(msg.contains(&token), "error `{}` does not name `{}`", msg, token);
     }
 }
