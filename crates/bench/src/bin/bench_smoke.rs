@@ -13,10 +13,23 @@
 //! cross-checks that all three produce bit-identical folds (the source
 //! of the checked-in `BENCH_3.json`).
 //!
+//! `bench_smoke telemetry` measures the cost of the telemetry layer on
+//! the same chaos kernel: a supervised run plus full derivation of the
+//! event trace, metrics, and Q(t) attribution, versus the bare
+//! supervised run. It also cross-checks that the derived trace is
+//! byte-identical across thread budgets and that the deficit
+//! attribution reconciles with the report's own Bruneau loss (the
+//! source of the checked-in `BENCH_5.json`).
+//!
 //! ```bash
 //! cargo run --release -p resilience-bench --bin bench_smoke > BENCH_2.json
 //! cargo run --release -p resilience-bench --bin bench_smoke -- faults > BENCH_3.json
+//! cargo run --release -p resilience-bench --bin bench_smoke -- telemetry > BENCH_5.json
 //! ```
+
+// Drivers surface failures as `die(...)` usage errors or documented
+// panics, never bare `unwrap()`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 use std::time::Instant;
 
@@ -193,11 +206,180 @@ fn run_fault_smoke(reps: usize) {
     );
 }
 
+#[derive(Serialize)]
+struct TelemetryOverhead {
+    trials: u64,
+    threads: usize,
+    chaos_plan: String,
+    baseline_trials_per_sec: f64,
+    traced_trials_per_sec: f64,
+    /// Supervised-run-plus-full-telemetry-derivation wall time over the
+    /// bare supervised run (1.0 = free). The acceptance bar is 1.3.
+    tracing_overhead: f64,
+    /// Events in the derived trace (retries + plans + losses).
+    events_derived: usize,
+    /// Metric families registered from the run report.
+    metric_families: usize,
+    health_r: f64,
+    attribution: resilience_telemetry::DeficitAttribution,
+}
+
+#[derive(Serialize)]
+struct TelemetrySmoke {
+    telemetry_overhead: TelemetryOverhead,
+    meta: Meta,
+}
+
+/// `bench_smoke telemetry`: derivation overhead + trace determinism +
+/// attribution reconciliation on the supervised chaos kernel.
+fn run_telemetry_smoke(reps: usize) {
+    use resilience_telemetry::{
+        record_run_events, record_run_metrics, trajectory_of_run, MetricsRegistry, Tracer,
+    };
+
+    const TRIALS: u64 = 50_000;
+    const THREADS: usize = 4;
+    let chaos_spec = "seed=7,panic=0.02,poison=0.02,times=2,retries=3,backoff_ms=0";
+
+    let supervised_run = |threads: usize| {
+        let chaos = FaultConfig::parse(chaos_spec).expect("canned chaos spec parses");
+        let ctx = RunContext::with_threads(0, threads)
+            .supervised(Supervision::new("bench-telemetry", chaos));
+        let fold = mc_kernel(&ctx, TRIALS);
+        let report = ctx.run_report().expect("supervised context reports");
+        (fold, report)
+    };
+    let derive = |report: &resilience_core::RunReport| {
+        let mut tracer = Tracer::new();
+        record_run_events(&mut tracer, report);
+        let mut registry = MetricsRegistry::new();
+        record_run_metrics(&mut registry, report);
+        let observer = trajectory_of_run(report);
+        (
+            tracer.to_json(),
+            registry.to_prometheus(),
+            observer.attribution(),
+            observer,
+        )
+    };
+
+    // Correctness gates first: thread-invariant derivation, observer
+    // trajectory bit-identical to the report's own health series, and
+    // attribution reconciling with the report's Bruneau loss.
+    let (fold1, report1) = supervised_run(1);
+    let (fold4, report4) = supervised_run(THREADS);
+    if fold1 != fold4 {
+        eprintln!("FAIL: supervised folds differ across thread budgets");
+        std::process::exit(1);
+    }
+    let (trace1, prom1, attr1, obs1) = derive(&report1);
+    let (trace4, prom4, attr4, _) = derive(&report4);
+    if trace1 != trace4 || prom1 != prom4 {
+        eprintln!("FAIL: derived telemetry depends on thread count");
+        std::process::exit(1);
+    }
+    if attr1 != attr4 {
+        eprintln!("FAIL: deficit attribution depends on thread count");
+        std::process::exit(1);
+    }
+    if obs1.quality() != &report1.health {
+        eprintln!("FAIL: observed trajectory is not bit-identical to the report's health");
+        std::process::exit(1);
+    }
+    let r = report1.resilience_loss();
+    if attr1.total != r || (attr1.components_sum() - r).abs() > 1e-9 * r.max(1.0) {
+        eprintln!(
+            "FAIL: attribution does not reconcile: components={} total={} R={r}",
+            attr1.components_sum(),
+            attr1.total
+        );
+        std::process::exit(1);
+    }
+
+    // Interleave base and traced rounds and gate on the median of the
+    // per-round ratios: timing the two arms as separate batches lets
+    // machine-load drift between the batches masquerade as overhead.
+    let time_secs = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        start.elapsed().as_secs_f64()
+    };
+    // One untimed warm-up round so allocator and page-cache cold-start
+    // costs don't land on the first measured ratio.
+    std::hint::black_box(supervised_run(THREADS));
+    let mut base_times = Vec::with_capacity(reps);
+    let mut traced_times = Vec::with_capacity(reps);
+    let mut ratios = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let b = time_secs(&mut || {
+            std::hint::black_box(supervised_run(THREADS));
+        });
+        let t = time_secs(&mut || {
+            let (fold, report) = supervised_run(THREADS);
+            std::hint::black_box((fold, derive(&report)));
+        });
+        base_times.push(b);
+        traced_times.push(t);
+        ratios.push(t / b);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let base_secs = median(&mut base_times);
+    let traced_secs = median(&mut traced_times);
+    let overhead = median(&mut ratios);
+    if overhead > 1.3 {
+        eprintln!("FAIL: telemetry derivation overhead {overhead:.3}x exceeds the 1.3x budget");
+        std::process::exit(1);
+    }
+
+    let mut registry = MetricsRegistry::new();
+    record_run_metrics(&mut registry, &report1);
+    let mut tracer = Tracer::new();
+    record_run_events(&mut tracer, &report1);
+    let smoke = TelemetrySmoke {
+        telemetry_overhead: TelemetryOverhead {
+            trials: TRIALS,
+            threads: THREADS,
+            chaos_plan: chaos_spec.to_string(),
+            baseline_trials_per_sec: TRIALS as f64 / base_secs,
+            traced_trials_per_sec: TRIALS as f64 / traced_secs,
+            tracing_overhead: overhead,
+            events_derived: tracer.len(),
+            metric_families: registry.len(),
+            health_r: r,
+            attribution: attr1,
+        },
+        meta: Meta {
+            profile: if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+            repetitions: reps,
+            timing: "median wall seconds per run; overhead is the median of interleaved per-round ratios",
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        },
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&smoke).expect("serializes")
+    );
+}
+
 fn main() {
     let reps = 5;
-    if std::env::args().nth(1).as_deref() == Some("faults") {
-        run_fault_smoke(reps);
-        return;
+    match std::env::args().nth(1).as_deref() {
+        Some("faults") => {
+            run_fault_smoke(reps);
+            return;
+        }
+        Some("telemetry") => {
+            run_telemetry_smoke(reps);
+            return;
+        }
+        _ => {}
     }
     let greedy = GreedyRepair::new();
 

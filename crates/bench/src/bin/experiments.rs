@@ -33,19 +33,35 @@
 //! `--resume <path>` journals each completed experiment to `path`
 //! (JSON lines, flushed per experiment) and replays already-journaled
 //! tables on restart, so killing a run and re-issuing the same command
-//! produces byte-identical output to an uninterrupted run.
+//! produces byte-identical output to an uninterrupted run. Supervised
+//! run reports are journaled alongside the tables in a `<path>.reports`
+//! sidecar, so a resumed experiment re-emits the *identical* stderr
+//! health report (and partial-table annotation) the uninterrupted run
+//! would have printed — resumed and live runs report the same R.
 //!
 //! `--report-json <path>` writes the supervised run reports — health
 //! trajectory, Bruneau resilience loss, retry counts, lost trials — as
-//! a JSON array, one element per experiment actually run this
-//! invocation (experiments replayed from a `--resume` checkpoint did
-//! not re-run, so they contribute no report). Without a fault plan the
-//! runs are wrapped in panic-isolation-only supervision so the report
-//! exists and records a fault-free trajectory.
+//! a JSON array, one element per selected experiment (journaled
+//! reports from a `--resume` sidecar are included, so resumed and
+//! uninterrupted runs produce the same array). Without a fault plan
+//! the runs are wrapped in panic-isolation-only supervision so the
+//! report exists and records a fault-free trajectory.
+//!
+//! `--trace-out <path>` derives the structured telemetry event trace —
+//! retries, supervisor plans, lost trials — from each run report and
+//! writes a JSON array of `{id, events}` documents. The trace is a
+//! pure function of the report, so it is bit-identical for any
+//! `--threads` value and identical between resumed and live runs.
+
+// Drivers surface failures as `die(...)` usage errors or documented
+// panics, never bare `unwrap()`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 use resilience_bench::experiments::registry;
-use resilience_bench::{CheckpointEntry, ExperimentCheckpoint};
+use resilience_bench::{CheckpointEntry, ExperimentCheckpoint, ReportEntry, ReportJournal};
+use resilience_core::faults::LostTrial;
 use resilience_core::{FaultConfig, RunContext, RunReport, Supervision};
+use resilience_telemetry::{record_run_events, Tracer};
 use std::time::Instant;
 
 fn main() {
@@ -56,6 +72,7 @@ fn main() {
     let mut fault_spec = env_faults();
     let mut resume_path: Option<String> = None;
     let mut report_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -96,6 +113,12 @@ fn main() {
                     .unwrap_or_else(|| die("--report-json needs an output path"));
                 report_json = Some(raw);
             }
+            "--trace-out" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--trace-out needs an output path"));
+                trace_out = Some(raw);
+            }
             "--only" => {
                 let list = it
                     .next()
@@ -106,7 +129,7 @@ fn main() {
                 eprintln!(
                     "usage: experiments [--seed N] [--threads N] [--json] \
                      [--fault-plan SPEC] [--resume PATH] [--report-json PATH] \
-                     [--only e2,e3] [e1 e2 ... e22]"
+                     [--trace-out PATH] [--only e2,e3] [e1 e2 ... e22]"
                 );
                 return;
             }
@@ -122,6 +145,10 @@ fn main() {
         .unwrap_or_default();
     let mut checkpoint = resume_path
         .map(|path| ExperimentCheckpoint::load(path).unwrap_or_else(|err| die(&format!("{err}"))));
+    let mut report_journal = checkpoint.as_ref().map(|ckpt| {
+        ReportJournal::load(ReportJournal::sidecar_for(ckpt.path()))
+            .unwrap_or_else(|err| die(&format!("{err}")))
+    });
     if wanted.is_empty() {
         // Fall back to the environment's default selection.
         match std::env::var("RESILIENCE_ONLY") {
@@ -150,24 +177,40 @@ fn main() {
             .filter(|(id, _)| wanted.iter().any(|w| w == id))
             .collect()
     };
-    let mut reports: Vec<RunReport> = Vec::new();
+    let wants_reports = report_json.is_some() || trace_out.is_some();
+    let mut reports: Vec<(String, RunReport)> = Vec::new();
     for (id, runner) in selected {
         if let Some(table) = checkpoint
             .as_ref()
             .and_then(|c| c.lookup(id, seed, &fingerprint))
         {
             eprintln!("{id}: resumed from checkpoint");
+            // Replay the journaled run report so a resumed run tells the
+            // same health story — same stderr report, same partial-table
+            // annotation, same R — as the uninterrupted run.
+            let mut lost: Vec<LostTrial> = Vec::new();
+            if let Some(report) = report_journal
+                .as_ref()
+                .and_then(|j| j.lookup(id, seed, &fingerprint))
+            {
+                eprintln!("{report}");
+                lost = report.lost.clone();
+                if wants_reports {
+                    reports.push((id.to_string(), report.clone()));
+                }
+            }
             emit(table, json);
+            emit_lost_note(&lost, json);
             continue;
         }
         eprintln!("running {id}…");
         let mut ctx = RunContext::with_threads(seed, threads);
         if let Some(cfg) = &faults {
             ctx = ctx.supervised(Supervision::new(id, cfg.clone()));
-        } else if report_json.is_some() {
-            // A report was asked for but no faults are planned: wrap the
-            // run in isolation-only supervision so the health trajectory
-            // is still recorded.
+        } else if wants_reports || report_journal.is_some() {
+            // A report was asked for (or will be journaled) but no
+            // faults are planned: wrap the run in isolation-only
+            // supervision so the health trajectory is still recorded.
             ctx = ctx.supervised(Supervision::isolation(id));
         }
         let start = Instant::now();
@@ -191,23 +234,25 @@ fn main() {
                 // system the harness studies.
                 eprintln!("{report}");
                 let lost = report.lost.clone();
-                if report_json.is_some() {
-                    reports.push(report);
+                if let Some(journal) = report_journal.as_mut() {
+                    journal
+                        .record(ReportEntry {
+                            id: id.to_string(),
+                            seed,
+                            faults: fingerprint.clone(),
+                            report: report.clone(),
+                        })
+                        .unwrap_or_else(|err| die(&format!("{err}")));
+                }
+                if wants_reports {
+                    reports.push((id.to_string(), report));
                 }
                 lost
             }
             None => Vec::new(),
         };
         emit(&table, json);
-        if !lost.is_empty() && !json {
-            let trials: Vec<String> = lost.iter().map(|l| l.trial.to_string()).collect();
-            println!(
-                "> **partial table:** {} trial(s) lost after exhausting the retry \
-                 budget (trial {})\n",
-                lost.len(),
-                trials.join(", ")
-            );
-        }
+        emit_lost_note(&lost, json);
         if let Some(ckpt) = checkpoint.as_mut() {
             ckpt.record(CheckpointEntry {
                 id: id.to_string(),
@@ -218,11 +263,46 @@ fn main() {
             .unwrap_or_else(|err| die(&format!("{err}")));
         }
     }
-    if let Some(path) = report_json {
-        let rendered = serde_json::to_string_pretty(&reports).expect("reports render");
-        std::fs::write(&path, format!("{rendered}\n"))
+    if let Some(path) = &report_json {
+        let bare: Vec<&RunReport> = reports.iter().map(|(_, r)| r).collect();
+        let rendered = serde_json::to_string_pretty(&bare).expect("reports render");
+        std::fs::write(path, format!("{rendered}\n"))
             .unwrap_or_else(|err| die(&format!("cannot write --report-json {path}: {err}")));
-        eprintln!("{} run report(s) written to {path}", reports.len());
+        eprintln!("{} run report(s) written to {path}", bare.len());
+    }
+    if let Some(path) = &trace_out {
+        let docs: Vec<serde::Value> = reports
+            .iter()
+            .map(|(id, report)| {
+                let mut tracer = Tracer::new();
+                record_run_events(&mut tracer, report);
+                serde::Value::Object(vec![
+                    ("id".to_string(), serde::Serialize::serialize(id)),
+                    (
+                        "events".to_string(),
+                        serde::Serialize::serialize(&tracer.merged()),
+                    ),
+                ])
+            })
+            .collect();
+        let rendered = serde_json::to_string_pretty(&docs).expect("traces render");
+        std::fs::write(path, format!("{rendered}\n"))
+            .unwrap_or_else(|err| die(&format!("cannot write --trace-out {path}: {err}")));
+        eprintln!("{} event trace(s) written to {path}", docs.len());
+    }
+}
+
+/// Print the partial-table annotation for lost trials (Markdown mode
+/// only), identically for live and resumed runs.
+fn emit_lost_note(lost: &[LostTrial], json: bool) {
+    if !lost.is_empty() && !json {
+        let trials: Vec<String> = lost.iter().map(|l| l.trial.to_string()).collect();
+        println!(
+            "> **partial table:** {} trial(s) lost after exhausting the retry \
+             budget (trial {})\n",
+            lost.len(),
+            trials.join(", ")
+        );
     }
 }
 

@@ -16,6 +16,9 @@
 //! serve --json                          # machine-readable single run
 //! serve --log                           # per-request outcome log lines
 //! serve --compare                       # degradation on vs off (BENCH_4.json)
+//! serve --metrics-out m.json            # telemetry: metrics + deficit attribution
+//! serve --prom-out metrics.prom         # telemetry: Prometheus text exposition
+//! serve --trace-out trace.json          # telemetry: structured event trace
 //! ```
 //!
 //! Every service decision runs on a logical clock, so the entire
@@ -29,10 +32,15 @@
 //! `BENCH_4.json` — exiting non-zero if any criterion fails, so CI
 //! running this binary doubles as an overload-behaviour smoke.
 
+// Drivers surface failures as `die(...)` usage errors or documented
+// panics, never bare `unwrap()`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use resilience_core::faults::{FaultConfig, FaultPlan};
 use resilience_service::{
     BreakerState, RequestTrace, ServiceConfig, ServiceEngine, ServiceReport, TraceSpec,
 };
+use resilience_telemetry::Telemetry;
 use serde::Serialize;
 
 /// The chaos plan used when `--compare` is given without an explicit
@@ -145,7 +153,65 @@ fn die(msg: &str) -> ! {
     eprintln!("serve: {msg}");
     eprintln!("usage: serve [--requests N] [--seed N] [--threads N] [--fault-plan SPEC]");
     eprintln!("             [--degradation on|off] [--json] [--log] [--compare]");
+    eprintln!("             [--metrics-out PATH] [--prom-out PATH] [--trace-out PATH]");
     std::process::exit(2);
+}
+
+/// Telemetry output paths; when any is set the run goes through
+/// `serve_traced` (in `--compare` mode telemetry observes the
+/// degradation-on arm — the production configuration).
+#[derive(Default)]
+struct TelemetryOut {
+    metrics: Option<String>,
+    prom: Option<String>,
+    trace: Option<String>,
+}
+
+impl TelemetryOut {
+    fn any(&self) -> bool {
+        self.metrics.is_some() || self.prom.is_some() || self.trace.is_some()
+    }
+
+    /// Write every requested exposition. The metrics document carries
+    /// the registry plus the observer's per-cause deficit attribution,
+    /// under a `schema` tag CI validates against
+    /// `schemas/metrics.schema.json`.
+    fn write(&self, tel: &Telemetry) {
+        if let Some(path) = &self.metrics {
+            let serde::Value::Object(fields) = tel.metrics.to_json_value() else {
+                unreachable!("registry exposition is an object");
+            };
+            let metrics = fields
+                .into_iter()
+                .find(|(k, _)| k == "metrics")
+                .map(|(_, v)| v)
+                .unwrap_or(serde::Value::Array(Vec::new()));
+            let doc = serde::Value::Object(vec![
+                (
+                    "schema".to_string(),
+                    Serialize::serialize("resilience-metrics/v1"),
+                ),
+                (
+                    "attribution".to_string(),
+                    Serialize::serialize(&tel.trajectory.attribution()),
+                ),
+                ("metrics".to_string(), metrics),
+            ]);
+            let rendered = serde_json::to_string_pretty(&doc).expect("metrics render");
+            write_file(path, &format!("{rendered}\n"), "--metrics-out");
+        }
+        if let Some(path) = &self.prom {
+            write_file(path, &tel.metrics.to_prometheus(), "--prom-out");
+        }
+        if let Some(path) = &self.trace {
+            write_file(path, &tel.tracer.to_json(), "--trace-out");
+        }
+    }
+}
+
+fn write_file(path: &str, contents: &str, flag: &str) {
+    std::fs::write(path, contents)
+        .unwrap_or_else(|e| die(&format!("cannot write {flag} {path}: {e}")));
 }
 
 fn fail(msg: &str) -> ! {
@@ -170,6 +236,7 @@ fn main() {
     let mut json = false;
     let mut log = false;
     let mut compare = false;
+    let mut telemetry_out = TelemetryOut::default();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.into_iter();
@@ -219,6 +286,20 @@ fn main() {
             "--json" => json = true,
             "--log" => log = true,
             "--compare" => compare = true,
+            "--metrics-out" => {
+                telemetry_out.metrics = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--metrics-out needs a path")),
+                );
+            }
+            "--prom-out" => {
+                telemetry_out.prom =
+                    Some(it.next().unwrap_or_else(|| die("--prom-out needs a path")));
+            }
+            "--trace-out" => {
+                telemetry_out.trace =
+                    Some(it.next().unwrap_or_else(|| die("--trace-out needs a path")));
+            }
             "--help" | "-h" => die("load driver for the serving layer"),
             other => die(&format!("unknown flag `{other}`")),
         }
@@ -257,9 +338,27 @@ fn main() {
         })
         .serve(&trace, &plan)
     };
+    // One traced run (the production arm) feeds every telemetry output;
+    // recording observes, never steers, so the report is identical to
+    // the untraced run's.
+    let run_traced = |degradation: bool, tel: &mut Telemetry| {
+        ServiceEngine::new(ServiceConfig {
+            threads,
+            degradation,
+            ..ServiceConfig::default()
+        })
+        .serve_traced(&trace, &plan, tel)
+    };
 
     if compare {
-        let on = run(true);
+        let on = if telemetry_out.any() {
+            let mut tel = Telemetry::new(1.0);
+            let on = run_traced(true, &mut tel);
+            telemetry_out.write(&tel);
+            on
+        } else {
+            run(true)
+        };
         let off = run(false);
         // Acceptance criteria — this binary is its own smoke test.
         if on.failed() != 0 {
@@ -300,7 +399,14 @@ fn main() {
         return;
     }
 
-    let report = run(degradation);
+    let report = if telemetry_out.any() {
+        let mut tel = Telemetry::new(1.0);
+        let report = run_traced(degradation, &mut tel);
+        telemetry_out.write(&tel);
+        report
+    } else {
+        run(degradation)
+    };
     if log {
         for outcome in &report.outcomes {
             println!("{outcome}");

@@ -1,0 +1,53 @@
+//! Offline JSON-Schema validation for CI.
+//!
+//! ```bash
+//! validate_json schemas/metrics.schema.json metrics.json
+//! ```
+//!
+//! Parses both files, checks the instance against the schema with
+//! `resilience_telemetry::schema::validate` (a self-contained subset
+//! validator — no network, no registry), prints every violation with
+//! its JSON path, and exits non-zero if the instance does not conform.
+//! CI uses it to pin the shape of the telemetry expositions (`serve
+//! --metrics-out`) against the checked-in schema.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+use resilience_telemetry::schema::validate;
+
+fn die(msg: &str) -> ! {
+    eprintln!("validate_json: {msg}");
+    eprintln!("usage: validate_json <schema.json> <instance.json>");
+    std::process::exit(2);
+}
+
+fn load(path: &str, what: &str) -> serde::Value {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {what} {path}: {e}")));
+    serde_json::parse_value_complete(&raw)
+        .unwrap_or_else(|e| die(&format!("{what} {path} is not valid JSON: {e}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [schema_path, instance_path] = args.as_slice() else {
+        die("expected exactly two arguments");
+    };
+    let schema = load(schema_path, "schema");
+    let instance = load(instance_path, "instance");
+    match validate(&schema, &instance) {
+        Ok(()) => {
+            println!("{instance_path}: conforms to {schema_path}");
+        }
+        Err(violations) => {
+            eprintln!(
+                "{instance_path}: {} violation(s) against {schema_path}",
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -21,7 +21,7 @@
 //! replayed into a run with different parameters.
 
 use crate::table::ExperimentTable;
-use resilience_core::CoreError;
+use resilience_core::{CoreError, RunReport};
 use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
@@ -150,6 +150,165 @@ impl ExperimentCheckpoint {
 fn checkpoint_err(path: &Path, detail: String) -> CoreError {
     CoreError::Checkpoint {
         reason: format!("{}: {detail}", path.display()),
+    }
+}
+
+/// One journaled supervised run report.
+///
+/// Serialized through [`RunReport::serialize_full`] rather than the
+/// report's standard (summary) serialization, so the retained attempt
+/// segments survive the round trip and a resumed run can re-derive the
+/// exact event trace the original run would have produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportEntry {
+    /// Experiment id, e.g. "e4".
+    pub id: String,
+    /// Master seed the run used.
+    pub seed: u64,
+    /// Canonical fault-config fingerprint ("" when faults are off).
+    pub faults: String,
+    /// The supervised run report, attempt segments included.
+    pub report: RunReport,
+}
+
+impl Serialize for ReportEntry {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("id".to_string(), Serialize::serialize(&self.id)),
+            ("seed".to_string(), Serialize::serialize(&self.seed)),
+            ("faults".to_string(), Serialize::serialize(&self.faults)),
+            ("report".to_string(), self.report.serialize_full()),
+        ])
+    }
+}
+
+impl Deserialize for ReportEntry {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Object(entries) = v else {
+            return Err(serde::DeError::new("expected object for ReportEntry"));
+        };
+        Ok(ReportEntry {
+            id: Deserialize::deserialize(serde::object_field(entries, "id")?)?,
+            seed: Deserialize::deserialize(serde::object_field(entries, "seed")?)?,
+            faults: Deserialize::deserialize(serde::object_field(entries, "faults")?)?,
+            report: Deserialize::deserialize(serde::object_field(entries, "report")?)?,
+        })
+    }
+}
+
+/// Sidecar journal of supervised run reports, stored next to the
+/// experiment checkpoint. Same JSON-lines format, same atomic-replace
+/// writes, same torn-tail tolerance, and the same `(id, seed, faults)`
+/// key as [`ExperimentCheckpoint`] — but holding the *runtime health
+/// story* of each completed experiment rather than its table, so a
+/// resumed run re-emits the identical stderr health report (and the
+/// identical derived telemetry) for experiments it did not re-run.
+///
+/// The sidecar is versioned independently of the checkpoint: a
+/// checkpoint written by an older binary simply has no sidecar, and
+/// resuming from it degrades to the old behavior (table replayed, no
+/// health report).
+#[derive(Debug)]
+pub struct ReportJournal {
+    path: PathBuf,
+    entries: Vec<ReportEntry>,
+}
+
+impl ReportJournal {
+    /// The sidecar path for a checkpoint at `checkpoint_path`:
+    /// `<checkpoint_path>.reports`.
+    pub fn sidecar_for(checkpoint_path: &Path) -> PathBuf {
+        let file_name = checkpoint_path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "journal".to_string());
+        checkpoint_path.with_file_name(format!("{file_name}.reports"))
+    }
+
+    /// Open (or create) the sidecar at `path`, loading existing
+    /// entries. A missing file is an empty journal; a torn final line
+    /// is dropped; corruption elsewhere is a [`CoreError::Checkpoint`].
+    pub fn load(path: impl Into<PathBuf>) -> Result<Self, CoreError> {
+        let path = path.into();
+        let mut entries = Vec::new();
+        match File::open(&path) {
+            Ok(file) => {
+                let lines: Vec<String> = BufReader::new(file)
+                    .lines()
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| checkpoint_err(&path, format!("read failed: {e}")))?;
+                let last = lines.len().saturating_sub(1);
+                for (i, line) in lines.iter().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match serde_json::from_str::<ReportEntry>(line) {
+                        Ok(entry) => entries.push(entry),
+                        Err(_) if i == last => {}
+                        Err(e) => {
+                            return Err(checkpoint_err(
+                                &path,
+                                format!("corrupt report on line {}: {e}", i + 1),
+                            ));
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(checkpoint_err(&path, format!("open failed: {e}"))),
+        }
+        Ok(ReportJournal { path, entries })
+    }
+
+    /// The journal's on-disk location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of reports on record.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the journal holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded report for `(id, seed, faults)`, if any.
+    pub fn lookup(&self, id: &str, seed: u64, faults: &str) -> Option<&RunReport> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id && e.seed == seed && e.faults == faults)
+            .map(|e| &e.report)
+    }
+
+    /// Record a run report, persisting via the same atomic replace as
+    /// [`ExperimentCheckpoint::record`].
+    pub fn record(&mut self, entry: ReportEntry) -> Result<(), CoreError> {
+        let mut rendered = String::new();
+        for existing in self.entries.iter().chain(std::iter::once(&entry)) {
+            let line = serde_json::to_string(existing)
+                .map_err(|e| checkpoint_err(&self.path, format!("serialize failed: {e}")))?;
+            rendered.push_str(&line);
+            rendered.push('\n');
+        }
+        let file_name = self
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "journal".to_string());
+        let tmp = self.path.with_file_name(format!("{file_name}.tmp"));
+        let mut file = File::create(&tmp)
+            .map_err(|e| checkpoint_err(&tmp, format!("create temp failed: {e}")))?;
+        file.write_all(rendered.as_bytes())
+            .and_then(|()| file.sync_all())
+            .map_err(|e| checkpoint_err(&tmp, format!("write temp failed: {e}")))?;
+        drop(file);
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| checkpoint_err(&self.path, format!("atomic replace failed: {e}")))?;
+        self.entries.push(entry);
+        Ok(())
     }
 }
 
@@ -296,6 +455,59 @@ mod tests {
         let reloaded = ExperimentCheckpoint::load(&path).expect("reload");
         assert_eq!(reloaded.len(), 1);
         let _ = std::fs::remove_file(&tmp_path);
+    }
+
+    #[test]
+    fn report_journal_round_trips_segments_and_keys_like_the_checkpoint() {
+        use resilience_core::faults::{AttemptRecord, AttemptSegment, FailureCause, LostTrial};
+
+        let path = tmp("reports.jsonl.reports");
+        let mut report = RunReport::new("e1");
+        report.trials = 4;
+        report.attempts = 5;
+        report.faults_injected = 2;
+        report.recovered = 1;
+        report.lost = vec![LostTrial {
+            stream: 0,
+            trial: 2,
+            cause: FailureCause::Panicked,
+            detail: "boom".into(),
+        }];
+        report.segments = vec![AttemptSegment {
+            trials: 4,
+            log: vec![AttemptRecord {
+                trial: 2,
+                attempt: 0,
+                ok: false,
+            }],
+            lost: vec![2],
+        }];
+
+        let mut journal = ReportJournal::load(&path).expect("load");
+        journal
+            .record(ReportEntry {
+                id: "e1".into(),
+                seed: 42,
+                faults: "seed=7".into(),
+                report: report.clone(),
+            })
+            .expect("record");
+        drop(journal);
+
+        let journal = ReportJournal::load(&path).expect("reload");
+        assert_eq!(journal.len(), 1);
+        let back = journal.lookup("e1", 42, "seed=7").expect("found");
+        assert_eq!(back, &report, "segments survive the round trip");
+        assert_eq!(journal.lookup("e1", 42, ""), None, "different plan");
+        assert_eq!(journal.lookup("e1", 7, "seed=7"), None, "different seed");
+    }
+
+    #[test]
+    fn sidecar_path_appends_reports_extension() {
+        assert_eq!(
+            ReportJournal::sidecar_for(Path::new("/x/run.ckpt")),
+            PathBuf::from("/x/run.ckpt.reports")
+        );
     }
 
     #[test]

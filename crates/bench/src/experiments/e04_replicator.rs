@@ -20,13 +20,19 @@ pub fn run(_ctx: &RunContext) -> ExperimentTable {
     dominated[0] = 80.0;
     rows.push(vec![
         "index extreme: uniform".into(),
-        format!("G = {:.2}", diversity_index(&uniform).unwrap()),
+        format!(
+            "G = {:.2}",
+            diversity_index(&uniform).expect("uniform shares are valid")
+        ),
         format!("theory N = {n}"),
         "-".into(),
     ]);
     rows.push(vec![
         "index extreme: monoculture".into(),
-        format!("G = {:.2}", diversity_index(&dominated).unwrap()),
+        format!(
+            "G = {:.2}",
+            diversity_index(&dominated).expect("dominated shares are valid")
+        ),
         "theory 1".into(),
         "-".into(),
     ]);
@@ -40,8 +46,16 @@ pub fn run(_ctx: &RunContext) -> ExperimentTable {
     ));
     let traj_dd = ReplicatorSim::uniform(dd).run(600);
     let g_lin_start = traj_lin.diversity.values()[0];
-    let g_lin_end = *traj_lin.diversity.values().last().unwrap();
-    let g_dd_end = *traj_dd.diversity.values().last().unwrap();
+    let g_lin_end = *traj_lin
+        .diversity
+        .values()
+        .last()
+        .expect("run produced samples");
+    let g_dd_end = *traj_dd
+        .diversity
+        .values()
+        .last()
+        .expect("run produced samples");
     rows.push(vec![
         "replicator, linear fitness".into(),
         format!("G: {g_lin_start:.2} → {g_lin_end:.2}"),

@@ -57,7 +57,9 @@ pub fn run(ctx: &RunContext) -> ExperimentTable {
              granularity point: the *system* survives while most *species* \
              do not",
             survival_by_richness[0],
-            survival_by_richness.last().unwrap()
+            survival_by_richness
+                .last()
+                .expect("richness ladder is non-empty")
         ),
     }
 }

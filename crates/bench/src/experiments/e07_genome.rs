@@ -42,7 +42,11 @@ pub fn run(ctx: &RunContext) -> ExperimentTable {
     // Part 2: stickleback dormant-trait reactivation (Fig. 1).
     let model = DormantTraitModel::default();
     let out = model.simulate(0.9, 400, 400, &mut rng);
-    let final_freq = *out.armored_frequency.values().last().unwrap();
+    let final_freq = *out
+        .armored_frequency
+        .values()
+        .last()
+        .expect("simulation produced samples");
     rows.push(vec![
         "stickleback armor (Fig. 1)".into(),
         format!("dormant reserve {:.4}", out.dormant_reserve),

@@ -20,10 +20,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors or documented
+// panics, never `unwrap()`; tests are exempt because a failed unwrap
+// there *is* the assertion.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod checkpoint;
 pub mod experiments;
 pub mod table;
 
-pub use checkpoint::{CheckpointEntry, ExperimentCheckpoint};
+pub use checkpoint::{CheckpointEntry, ExperimentCheckpoint, ReportEntry, ReportJournal};
 pub use table::{ExperimentTable, PerfSummary};

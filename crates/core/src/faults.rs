@@ -498,6 +498,22 @@ impl serde::Serialize for FailureCause {
     }
 }
 
+impl serde::Deserialize for FailureCause {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::String(s) => match s.as_str() {
+                "panicked" => Ok(FailureCause::Panicked),
+                "poisoned" => Ok(FailureCause::Poisoned),
+                "deadline exceeded" => Ok(FailureCause::DeadlineExceeded),
+                other => Err(serde::DeError::new(&format!(
+                    "unknown failure cause `{other}`"
+                ))),
+            },
+            _ => Err(serde::DeError::new("failure cause must be a string")),
+        }
+    }
+}
+
 /// A trial slot that exhausted its retry budget and was abandoned.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LostTrial {
@@ -525,8 +541,23 @@ impl serde::Serialize for LostTrial {
     }
 }
 
+impl serde::Deserialize for LostTrial {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = match v {
+            serde::Value::Object(entries) => entries,
+            _ => return Err(serde::DeError::new("lost trial must be an object")),
+        };
+        Ok(LostTrial {
+            stream: serde::Deserialize::deserialize(serde::object_field(entries, "stream")?)?,
+            trial: serde::Deserialize::deserialize(serde::object_field(entries, "trial")?)?,
+            cause: serde::Deserialize::deserialize(serde::object_field(entries, "cause")?)?,
+            detail: serde::Deserialize::deserialize(serde::object_field(entries, "detail")?)?,
+        })
+    }
+}
+
 /// One adjudicated attempt, in the supervisor's knowledge base.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct AttemptRecord {
     /// Trial index within its stream.
     pub trial: u64,
@@ -534,6 +565,23 @@ pub struct AttemptRecord {
     pub attempt: u32,
     /// Whether the attempt delivered a healthy result.
     pub ok: bool,
+}
+
+/// The attempt log of one supervised `run_trials` stream, retained on
+/// the report so telemetry can replay the supervisor's MAPE-K
+/// decisions — retries, plans, losses — in logical `(attempt, trial)`
+/// order after the fact. Each stream a runner executes contributes one
+/// segment (in [`RunReport::merge`] call order), mirroring how the
+/// health trajectories are concatenated.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AttemptSegment {
+    /// Trial slots the stream supervised.
+    pub trials: u64,
+    /// Adjudicated attempts sorted by `(attempt, trial)` — the same
+    /// logical order the health trajectory samples.
+    pub log: Vec<AttemptRecord>,
+    /// Trials this stream abandoned for good, ascending.
+    pub lost: Vec<u64>,
 }
 
 /// The supervised run's self-measurement: what failed, what recovered,
@@ -558,6 +606,11 @@ pub struct RunReport {
     /// adjudicated attempt, in deterministic `(attempt, trial)` order),
     /// as a quality trajectory in `[0, 100]`.
     pub health: QualityTrajectory,
+    /// Per-stream attempt logs, for telemetry replay. Excluded from the
+    /// report's standard JSON rendering (`--report-json` is unchanged);
+    /// [`RunReport::serialize_full`] includes it for journals that need
+    /// to reconstruct the trace.
+    pub segments: Vec<AttemptSegment>,
 }
 
 impl RunReport {
@@ -571,6 +624,7 @@ impl RunReport {
             recovered: 0,
             lost: Vec::new(),
             health: QualityTrajectory::new(1.0),
+            segments: Vec::new(),
         }
     }
 
@@ -590,6 +644,7 @@ impl RunReport {
         self.recovered += other.recovered;
         self.lost.extend(other.lost);
         self.health.extend(other.health.samples().iter().copied());
+        self.segments.extend(other.segments);
     }
 
     /// Build the deterministic health trajectory from an attempt log:
@@ -641,6 +696,55 @@ impl serde::Serialize for RunReport {
             ),
             ("health".to_string(), self.health.serialize()),
         ])
+    }
+}
+
+impl RunReport {
+    /// The standard JSON rendering plus the attempt-log `segments` —
+    /// everything needed to reconstruct the report (and its telemetry
+    /// trace) exactly, e.g. from a resume journal.
+    pub fn serialize_full(&self) -> serde::Value {
+        let mut fields = match serde::Serialize::serialize(self) {
+            serde::Value::Object(fields) => fields,
+            other => return other,
+        };
+        fields.push((
+            "segments".to_string(),
+            serde::Serialize::serialize(&self.segments),
+        ));
+        serde::Value::Object(fields)
+    }
+}
+
+impl serde::Deserialize for RunReport {
+    /// Accepts both the standard `--report-json` rendering (the
+    /// computed `resilience_loss` field is ignored, `segments` defaults
+    /// to empty) and the [`RunReport::serialize_full`] form.
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = match v {
+            serde::Value::Object(entries) => entries,
+            _ => return Err(serde::DeError::new("run report must be an object")),
+        };
+        let segments = match serde::object_field(entries, "segments") {
+            Ok(raw) => serde::Deserialize::deserialize(raw)?,
+            Err(_) => Vec::new(),
+        };
+        Ok(RunReport {
+            experiment: serde::Deserialize::deserialize(serde::object_field(
+                entries,
+                "experiment",
+            )?)?,
+            trials: serde::Deserialize::deserialize(serde::object_field(entries, "trials")?)?,
+            attempts: serde::Deserialize::deserialize(serde::object_field(entries, "attempts")?)?,
+            faults_injected: serde::Deserialize::deserialize(serde::object_field(
+                entries,
+                "faults_injected",
+            )?)?,
+            recovered: serde::Deserialize::deserialize(serde::object_field(entries, "recovered")?)?,
+            lost: serde::Deserialize::deserialize(serde::object_field(entries, "lost")?)?,
+            health: serde::Deserialize::deserialize(serde::object_field(entries, "health")?)?,
+            segments,
+        })
     }
 }
 

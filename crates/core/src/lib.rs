@@ -74,8 +74,8 @@ pub use constraint::{
 };
 pub use error::CoreError;
 pub use faults::{
-    FailureCause, FaultConfig, FaultKind, FaultPlan, LostTrial, RecoveryPolicy, RunReport,
-    Supervision, TrialCheckpoint,
+    AttemptRecord, AttemptSegment, FailureCause, FaultConfig, FaultKind, FaultPlan, LostTrial,
+    RecoveryPolicy, RunReport, Supervision, TrialCheckpoint,
 };
 pub use modes::{BiasedPerception, Mode, ModeController, SwitchPolicy, ThresholdPolicy};
 pub use quality::QualityTrajectory;

@@ -28,7 +28,8 @@
 
 use crate::error::CoreError;
 use crate::faults::{
-    AttemptRecord, FailureCause, FaultKind, LostTrial, RunReport, Supervision, TrialCheckpoint,
+    AttemptRecord, AttemptSegment, FailureCause, FaultKind, LostTrial, RunReport, Supervision,
+    TrialCheckpoint,
 };
 use crate::rng::{derive_seed, seeded_rng};
 use rand_chacha::ChaCha8Rng;
@@ -517,6 +518,15 @@ impl ParallelTrials {
             })
             .collect();
         report.health = RunReport::health_from_log(n_trials, &mut log);
+        // Retain the sorted log so telemetry can replay the supervisor's
+        // decisions (retries, plans, losses) in logical order post-run.
+        let mut lost_ids: Vec<u64> = report.lost.iter().map(|l| l.trial).collect();
+        lost_ids.sort_unstable();
+        report.segments = vec![AttemptSegment {
+            trials: n_trials,
+            log,
+            lost: lost_ids,
+        }];
         let acc = results.into_iter().flatten().fold(init, reduce);
         (acc, report)
     }

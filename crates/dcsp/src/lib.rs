@@ -54,6 +54,7 @@ pub mod recoverability;
 pub mod repair;
 pub mod scenario;
 pub mod spacecraft;
+pub mod telemetry;
 pub mod tiger_team;
 
 pub use belief::BeliefState;
@@ -64,10 +65,12 @@ pub use maintainability::{
 };
 pub use problem::{DcspSystem, EpisodeRecord};
 pub use recoverability::{
-    is_k_recoverable_exhaustive, is_k_recoverable_exhaustive_parallel, recoverability_reference,
-    sampled_recoverability, RecoverabilityReport,
+    is_k_recoverable_exhaustive, is_k_recoverable_exhaustive_parallel,
+    is_k_recoverable_exhaustive_parallel_stats, is_k_recoverable_exhaustive_stats,
+    recoverability_reference, sampled_recoverability, RecoverabilityReport, VerifyStats,
 };
 pub use repair::{AnnealRepair, BfsRepair, GreedyRepair, RepairOutcome, RepairStrategy};
 pub use scenario::{Scenario, ScenarioReport, ScenarioStep};
 pub use spacecraft::{MissionLog, Spacecraft};
+pub use telemetry::{record_maintainability, record_verification};
 pub use tiger_team::{random_testing, AttackReport, TigerTeam};

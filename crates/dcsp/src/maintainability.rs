@@ -255,6 +255,21 @@ impl MaintainabilityReport {
             .filter_map(|(i, l)| l.is_none().then_some(i))
             .collect()
     }
+
+    /// Number of states first reached at each BFS depth: element `d` is
+    /// the size of the backward-search frontier at distance `d` from the
+    /// normal set. Hopeless states (level `None`) are excluded. Derived
+    /// from `levels`, so it is identical however the BFS was scheduled.
+    pub fn frontier_sizes(&self) -> Vec<u64> {
+        let mut sizes = Vec::new();
+        for lvl in self.levels.iter().flatten() {
+            if *lvl >= sizes.len() {
+                sizes.resize(*lvl + 1, 0u64);
+            }
+            sizes[*lvl] += 1;
+        }
+        sizes
+    }
 }
 
 /// Backward BFS from the normal states over the reverse edge list, with

@@ -160,6 +160,86 @@ pub fn is_k_recoverable_exhaustive_parallel<S: RepairStrategy + ?Sized>(
     finalize(k, total, partial)
 }
 
+/// [`is_k_recoverable_exhaustive`] with telemetry: returns the report
+/// plus the [`VerifyStats`] of the single full-range pass.
+///
+/// # Panics
+///
+/// Panics if `start` does not satisfy `env`, or if `strategy` is not
+/// deterministic (stats are defined over the memoized engine only —
+/// non-deterministic strategies never touch the cache).
+pub fn is_k_recoverable_exhaustive_stats<S: RepairStrategy + ?Sized>(
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    max_damage: usize,
+    k: usize,
+) -> (RecoverabilityReport, VerifyStats) {
+    assert!(
+        env.is_fit(start),
+        "k-recoverability is checked from a fit configuration"
+    );
+    assert!(
+        strategy.is_deterministic(),
+        "verification stats require a deterministic strategy"
+    );
+    let n = start.len();
+    let counts = SubsetCounts::new(n, max_damage.min(n));
+    let total = counts.total_nonempty();
+    let partial = check_rank_range(0..total, start, env, strategy, k, &counts);
+    let stats = partial.stats;
+    (finalize(k, total, partial), stats)
+}
+
+/// [`is_k_recoverable_exhaustive_parallel`] with telemetry. Unlike the
+/// plain parallel checker — whose chunk boundaries adapt to
+/// `ctx.threads()` for load balance — this variant partitions the rank
+/// space into a **fixed** number of chunks independent of the thread
+/// budget. The transposition cache is per-range, so cache hit/miss
+/// counts are a pure function of the partition; pinning the partition
+/// makes the returned [`VerifyStats`] (and any telemetry derived from
+/// it) bit-identical for any `--threads` value, at a small
+/// load-balancing cost. The report itself is bit-identical to both
+/// other exhaustive checkers regardless.
+///
+/// # Panics
+///
+/// Panics if `start` does not satisfy `env`, or if `strategy` is not
+/// deterministic.
+pub fn is_k_recoverable_exhaustive_parallel_stats<S: RepairStrategy + ?Sized>(
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    max_damage: usize,
+    k: usize,
+    ctx: &RunContext,
+) -> (RecoverabilityReport, VerifyStats) {
+    assert!(
+        env.is_fit(start),
+        "k-recoverability is checked from a fit configuration"
+    );
+    assert!(
+        strategy.is_deterministic(),
+        "verification stats require a deterministic strategy"
+    );
+    let n = start.len();
+    let counts = SubsetCounts::new(n, max_damage.min(n));
+    let total = counts.total_nonempty();
+    // Fixed 64-way partition: thread-count-independent stats (see the
+    // type-level docs). 64 chunks still load-balance well past the
+    // machine sizes the harness targets.
+    let chunk = (total / 64).clamp(1, total.max(1));
+    let partial = ctx.run_ranges(
+        total,
+        chunk,
+        |r| check_rank_range(r, start, env, strategy, k, &counts),
+        Partial::default(),
+        Partial::merge,
+    );
+    let stats = partial.stats;
+    (finalize(k, total, partial), stats)
+}
+
 /// The original unmemoized sequential checker, retained verbatim as the
 /// reference oracle for the optimized engine: recursive subset
 /// enumeration, one `Config` clone per case, one full repair walk per
@@ -494,6 +574,49 @@ impl Memo {
     }
 }
 
+/// Telemetry counters of one verification run: how hard the
+/// transposition cache worked and how many states the repair walks
+/// visited.
+///
+/// Stats are accumulated per rank range and folded in rank order, so
+/// for a *fixed* range partition they are a pure function of the
+/// problem — the `_stats` entry points use a thread-count-independent
+/// partition precisely so these counters are bit-identical for any
+/// thread budget (unlike the adaptive partition of
+/// [`is_k_recoverable_exhaustive_parallel`], whose chunk boundaries —
+/// and therefore per-chunk cache contents — depend on `ctx.threads()`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct VerifyStats {
+    /// Memo probes that found a finished entry (initial probe or a
+    /// repair walk landing on a cached state).
+    pub cache_hits: u64,
+    /// Initial memo probes that missed and forced a repair walk.
+    pub cache_misses: u64,
+    /// Distinct states assigned a distance by repair walks (memo
+    /// insertions).
+    pub states_explored: u64,
+}
+
+impl VerifyStats {
+    /// Componentwise sum.
+    pub fn merge(mut self, other: VerifyStats) -> VerifyStats {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.states_explored += other.states_explored;
+        self
+    }
+
+    /// Cache hit rate in `[0, 1]` (0 when no probes were made).
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
+}
+
 /// Partial report of one contiguous rank range.
 #[derive(Debug, Default)]
 struct Partial {
@@ -502,6 +625,8 @@ struct Partial {
     any_failure: bool,
     /// Lowest-ranked failing damage pattern in this range, if any.
     counterexample: Option<Vec<usize>>,
+    /// Cache/exploration counters for this range.
+    stats: VerifyStats,
 }
 
 impl Partial {
@@ -513,6 +638,7 @@ impl Partial {
         if acc.counterexample.is_none() {
             acc.counterexample = next.counterexample;
         }
+        acc.stats = acc.stats.merge(next.stats);
         acc
     }
 }
@@ -564,6 +690,7 @@ fn check_rank_range<S: RepairStrategy + ?Sized>(
             &mut memo,
             &mut scratch,
             &mut path,
+            &mut partial.stats,
         ) {
             Some(steps) => {
                 partial.recovered += 1;
@@ -591,6 +718,10 @@ fn check_rank_range<S: RepairStrategy + ?Sized>(
 /// strategy: the walk is the strategy's unique trajectory, so every state
 /// on it has an exact distance-to-fit that can be cached and reused by
 /// later cases passing through the same states.
+// The trailing four parameters are the per-range scratch bundle
+// (transposition cache, reusable buffers, probe counters); bundling them
+// into a struct would only move the argument count into field plumbing.
+#[allow(clippy::too_many_arguments)]
 fn eval_case<S: RepairStrategy + ?Sized>(
     damaged: &Config,
     env: &dyn Constraint,
@@ -599,11 +730,14 @@ fn eval_case<S: RepairStrategy + ?Sized>(
     memo: &mut Memo,
     scratch: &mut Config,
     path: &mut Vec<MemoKey>,
+    stats: &mut VerifyStats,
 ) -> Option<usize> {
     let start_key = memo.key(damaged);
     if let Some(v) = memo.get(&start_key) {
+        stats.cache_hits += 1;
         return (v != UNRECOVERABLE).then_some(v as usize);
     }
+    stats.cache_misses += 1;
     scratch.clone_from(damaged);
     path.clear();
     path.push(start_key);
@@ -628,6 +762,7 @@ fn eval_case<S: RepairStrategy + ?Sized>(
                 steps += 1;
                 let key = memo.key(scratch);
                 if let Some(v) = memo.get(&key) {
+                    stats.cache_hits += 1;
                     break Outcome::Known(steps, v);
                 }
                 path.push(key);
@@ -638,6 +773,7 @@ fn eval_case<S: RepairStrategy + ?Sized>(
     match outcome {
         Outcome::Fit(s) => {
             // path holds states at distances s, s-1, …, 0 — all ≤ k.
+            stats.states_explored += path.len() as u64;
             for (j, key) in path.drain(..).enumerate() {
                 memo.insert(key, (s - j) as u32);
             }
@@ -645,6 +781,7 @@ fn eval_case<S: RepairStrategy + ?Sized>(
         }
         Outcome::Stuck => {
             // The strategy's trajectory from every path state dead-ends.
+            stats.states_explored += path.len() as u64;
             for key in path.drain(..) {
                 memo.insert(key, UNRECOVERABLE);
             }
@@ -654,11 +791,13 @@ fn eval_case<S: RepairStrategy + ?Sized>(
             // Walked k steps without reaching fitness: only the origin is
             // proven over budget (an intermediate state at index j has
             // only walked k - j steps).
+            stats.states_explored += 1;
             let origin = path.drain(..).next().expect("path holds the origin");
             memo.insert(origin, UNRECOVERABLE);
             None
         }
         Outcome::Known(s, v) => {
+            stats.states_explored += path.len() as u64;
             if v == UNRECOVERABLE {
                 // Cached distance exceeds k, so every state upstream of it
                 // on this walk exceeds k too.
@@ -935,6 +1074,49 @@ mod tests {
         assert_eq!(report.recovered_within_k, 0);
         assert!(report.counterexample.is_some());
         assert_eq!(report.recovery_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_variant_matches_plain_report_and_counts_cache_traffic() {
+        let n = 10;
+        let start = Config::ones(n);
+        let env = AllOnes::new(n);
+        let plain = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), 3, 3);
+        let (report, stats) =
+            is_k_recoverable_exhaustive_stats(&start, &env, &GreedyRepair::new(), 3, 3);
+        assert_eq!(report, plain);
+        // Every case probes the cache at least once up front; repair
+        // walks that land on memoized states probe again mid-walk.
+        assert!(stats.cache_hits + stats.cache_misses >= report.cases as u64);
+        assert!(stats.states_explored > 0);
+        // Overlapping damage patterns share repair paths, so the
+        // transposition cache must see real traffic on this instance.
+        assert!(stats.cache_hits > 0, "{stats:?}");
+        assert!(stats.hit_rate() > 0.0 && stats.hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn parallel_stats_are_thread_invariant() {
+        let n = 12;
+        let start = Config::ones(n);
+        let env = AllOnes::new(n);
+        let serial = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), 3, 3);
+        let mut expect: Option<VerifyStats> = None;
+        for threads in [1, 2, 4, 7] {
+            let (report, stats) = is_k_recoverable_exhaustive_parallel_stats(
+                &start,
+                &env,
+                &GreedyRepair::new(),
+                3,
+                3,
+                &RunContext::with_threads(0, threads),
+            );
+            assert_eq!(report, serial, "threads={threads}");
+            match &expect {
+                None => expect = Some(stats),
+                Some(first) => assert_eq!(stats, *first, "threads={threads}"),
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use std::fmt;
 
 /// Breaker states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum BreakerState {
     /// Traffic flows; consecutive failures are counted.
     Closed,
@@ -32,7 +32,7 @@ impl fmt::Display for BreakerState {
 }
 
 /// One recorded state change.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct BreakerTransition {
     /// Logical tick of the change.
     pub tick: u64,

@@ -64,6 +64,16 @@ impl Bulkhead {
         self.queue.len() >= self.capacity
     }
 
+    /// Jobs currently queued (not yet in service).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queue slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Total work still owed: queued plus in-service remainders.
     pub fn backlog(&self) -> u64 {
         let queued: u64 = self.queue.iter().map(|j| j.work).sum();

@@ -39,6 +39,7 @@ use resilience_core::faults::{FaultKind, FaultPlan, SlotFault};
 use resilience_core::quality::{QualityTrajectory, FULL_QUALITY};
 use resilience_core::rng::derive_seed;
 use resilience_core::runtime::ParallelTrials;
+use resilience_telemetry::{DeficitCause, Event, Telemetry};
 
 use crate::breaker::{BreakerTransition, CircuitBreaker};
 use crate::brownout::{BrownoutConfig, BrownoutController};
@@ -94,7 +95,7 @@ impl Default for ServiceConfig {
 }
 
 /// Per-family tallies in the final report.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct FamilyStats {
     /// Requests addressed to the family.
     pub arrivals: u64,
@@ -111,7 +112,7 @@ pub struct FamilyStats {
 }
 
 /// The run's complete, deterministic self-measurement.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct ServiceReport {
     /// Per-request outcomes in request-id order; the replayable log.
     pub outcomes: Vec<RequestOutcome>,
@@ -237,6 +238,37 @@ impl ServiceEngine {
     /// given chaos plan damages the same requests no matter how the
     /// service schedules them.
     pub fn serve(&self, trace: &RequestTrace, plan: &FaultPlan) -> ServiceReport {
+        self.serve_inner(trace, plan, None)
+    }
+
+    /// [`ServiceEngine::serve`] with the telemetry spine attached:
+    /// every admission verdict, disposition, cache hit/miss, breaker
+    /// transition, brownout move, and bulkhead occupancy change is
+    /// recorded into `telemetry` as it happens, the trajectory observer
+    /// is charged in the exact order the engine accumulates its own
+    /// deficit (so the observed Q(t) is bit-identical to the report's),
+    /// and the service metric families are registered at the end.
+    ///
+    /// The returned report is byte-identical to what [`serve`]
+    /// (telemetry off) produces for the same inputs — recording only
+    /// observes, it never steers.
+    ///
+    /// [`serve`]: ServiceEngine::serve
+    pub fn serve_traced(
+        &self,
+        trace: &RequestTrace,
+        plan: &FaultPlan,
+        telemetry: &mut Telemetry,
+    ) -> ServiceReport {
+        self.serve_inner(trace, plan, Some(telemetry))
+    }
+
+    fn serve_inner(
+        &self,
+        trace: &RequestTrace,
+        plan: &FaultPlan,
+        mut telemetry: Option<&mut Telemetry>,
+    ) -> ServiceReport {
         let cfg = &self.config;
         let n_families = trace.families.len().max(1);
         let pool = ParallelTrials::new(cfg.threads);
@@ -285,6 +317,13 @@ impl ServiceEngine {
             .saturating_add(trace.len() as u64 * delay_work)
             .saturating_add(cfg.breaker_cooldown + 1000);
 
+        // Telemetry cursors: how many breaker transitions / brownout
+        // moves have already been emitted, and the last queued depth
+        // emitted per family (occupancy events fire on change only).
+        let mut seen_transitions = vec![0usize; n_families];
+        let mut seen_brownout = 0usize;
+        let mut last_queued: Vec<Option<usize>> = vec![None; n_families];
+
         while pending > 0 {
             assert!(
                 tick <= tick_ceiling,
@@ -326,6 +365,43 @@ impl ServiceEngine {
                         }
                         Disposition::Shed { .. } => unreachable!("completions are never shed"),
                     }
+                    if let Some(tel) = telemetry.as_deref_mut() {
+                        match &disposition {
+                            Disposition::Served {
+                                fidelity, latency, ..
+                            } => {
+                                tel.tracer.record(
+                                    tick,
+                                    Event::RequestServed {
+                                        id: flight.request.id,
+                                        family: fam as u32,
+                                        fidelity: fidelity.to_string(),
+                                        latency: *latency,
+                                    },
+                                );
+                                tel.tracer.record(
+                                    tick,
+                                    match fidelity {
+                                        Fidelity::Cached => Event::CacheHit { family: fam as u32 },
+                                        _ => Event::CacheMiss { family: fam as u32 },
+                                    },
+                                );
+                                tel.trajectory.charge(DeficitCause::Degraded, penalty);
+                            }
+                            Disposition::Failed { cause } => {
+                                tel.tracer.record(
+                                    tick,
+                                    Event::RequestFailed {
+                                        id: flight.request.id,
+                                        family: fam as u32,
+                                        cause: cause.clone(),
+                                    },
+                                );
+                                tel.trajectory.charge(DeficitCause::Failed, penalty);
+                            }
+                            Disposition::Shed { .. } => unreachable!(),
+                        }
+                    }
                     outcomes[idx] = Some(RequestOutcome {
                         id: flight.request.id,
                         family: fam,
@@ -358,6 +434,16 @@ impl ServiceEngine {
                 let idx = usize::try_from(request.id).expect("request id fits usize");
                 match decision {
                     Admission::Enqueued(flight) => {
+                        if let Some(tel) = telemetry.as_deref_mut() {
+                            tel.tracer.record(
+                                tick,
+                                Event::RequestAdmitted {
+                                    id: request.id,
+                                    family: fam as u32,
+                                    fidelity: flight.fidelity.to_string(),
+                                },
+                            );
+                        }
                         in_flight[idx] = Some(flight);
                     }
                     Admission::Immediate(disposition, penalty) => {
@@ -366,6 +452,38 @@ impl ServiceEngine {
                             hard += 1;
                         } else {
                             per_family[fam].served_cached += 1;
+                        }
+                        if let Some(tel) = telemetry.as_deref_mut() {
+                            match &disposition {
+                                Disposition::Shed { reason } => {
+                                    tel.tracer.record(
+                                        tick,
+                                        Event::RequestShed {
+                                            id: request.id,
+                                            family: fam as u32,
+                                            reason: reason.to_string(),
+                                        },
+                                    );
+                                    tel.trajectory.charge(DeficitCause::Shed, penalty);
+                                }
+                                Disposition::Served { latency, .. } => {
+                                    tel.tracer.record(
+                                        tick,
+                                        Event::RequestServed {
+                                            id: request.id,
+                                            family: fam as u32,
+                                            fidelity: Fidelity::Cached.to_string(),
+                                            latency: *latency,
+                                        },
+                                    );
+                                    tel.tracer
+                                        .record(tick, Event::CacheHit { family: fam as u32 });
+                                    tel.trajectory.charge(DeficitCause::Degraded, penalty);
+                                }
+                                Disposition::Failed { .. } => {
+                                    unreachable!("admission never fails a request")
+                                }
+                            }
                         }
                         outcomes[idx] = Some(RequestOutcome {
                             id: request.id,
@@ -399,6 +517,49 @@ impl ServiceEngine {
                 };
                 brownout.observe(tick, hard_deficit, occupancy);
             }
+            if let Some(tel) = telemetry.as_deref_mut() {
+                // State-machine events surfaced once per change, in
+                // family order — all at the current tick, so the lane-0
+                // buffer stays tick-ordered.
+                for (fam, breaker) in breakers.iter().enumerate() {
+                    let all = breaker.transitions();
+                    for t in &all[seen_transitions[fam]..] {
+                        tel.tracer.record(
+                            tick,
+                            Event::BreakerTransition {
+                                family: fam as u32,
+                                from: t.from.to_string(),
+                                to: t.to.to_string(),
+                            },
+                        );
+                    }
+                    seen_transitions[fam] = all.len();
+                }
+                for &(_, level) in &brownout.history()[seen_brownout..] {
+                    tel.tracer
+                        .record(tick, Event::BrownoutLevelChange { level });
+                }
+                seen_brownout = brownout.history().len();
+                for (fam, b) in bulkheads.iter().enumerate() {
+                    let queued = b.queued();
+                    if last_queued[fam] != Some(queued) {
+                        tel.tracer.record(
+                            tick,
+                            Event::BulkheadOccupancy {
+                                family: fam as u32,
+                                queued: queued as u32,
+                                capacity: b.capacity() as u32,
+                            },
+                        );
+                        last_queued[fam] = Some(queued);
+                    }
+                }
+                // The observer accumulated the same penalties in the
+                // same order as `deficit` above, so its sample is
+                // bit-identical to the engine's own.
+                let observed = tel.trajectory.end_tick(adjudicated);
+                debug_assert_eq!(observed.to_bits(), q.to_bits());
+            }
             tick += 1;
         }
 
@@ -406,14 +567,18 @@ impl ServiceEngine {
             .into_iter()
             .map(|o| o.expect("every request adjudicated"))
             .collect();
-        ServiceReport {
+        let report = ServiceReport {
             outcomes,
             per_family,
             breaker_transitions: breakers.iter().map(|b| b.transitions().to_vec()).collect(),
             brownout_history: brownout.history().to_vec(),
             quality,
             ticks: tick,
+        };
+        if let Some(tel) = telemetry {
+            record_service_metrics(&mut tel.metrics, &report);
         }
+        report
     }
 
     /// Admission control for one arrival. Returns either the in-flight
@@ -603,6 +768,86 @@ impl ServiceEngine {
             0u64,
             |acc, x| acc ^ x,
         )
+    }
+}
+
+/// Register the service-layer metric families for `report` in
+/// `registry`. Called by [`ServiceEngine::serve_traced`] after the run;
+/// public so drivers can score an existing report into a shared
+/// registry. All values are pure functions of the report, so the
+/// exposition is as deterministic as the report itself.
+pub fn record_service_metrics(
+    registry: &mut resilience_telemetry::MetricsRegistry,
+    report: &ServiceReport,
+) {
+    registry.inc_counter(
+        "service_requests_total",
+        "Requests adjudicated by the serving layer",
+        report.total(),
+    );
+    registry.inc_counter(
+        "service_served_full_total",
+        "Requests served at full fidelity",
+        report.per_family.iter().map(|f| f.served_full).sum(),
+    );
+    registry.inc_counter(
+        "service_served_reduced_total",
+        "Requests served at reduced fidelity",
+        report.per_family.iter().map(|f| f.served_reduced).sum(),
+    );
+    registry.inc_counter(
+        "service_served_cached_total",
+        "Requests answered from the precomputed cache table",
+        report.per_family.iter().map(|f| f.served_cached).sum(),
+    );
+    registry.inc_counter(
+        "service_shed_total",
+        "Requests shed at admission",
+        report.shed(),
+    );
+    registry.inc_counter(
+        "service_failed_total",
+        "Requests failed hard (degradation off)",
+        report.failed(),
+    );
+    registry.inc_counter(
+        "service_breaker_transitions_total",
+        "Circuit-breaker state changes across all families",
+        report
+            .breaker_transitions
+            .iter()
+            .map(|t| t.len() as u64)
+            .sum(),
+    );
+    registry.inc_counter(
+        "service_brownout_changes_total",
+        "Brownout dimmer level changes",
+        report.brownout_history.len() as u64,
+    );
+    registry.set_gauge(
+        "service_ticks",
+        "Logical ticks the run spanned",
+        report.ticks as f64,
+    );
+    registry.set_gauge(
+        "service_goodput",
+        "Served fraction of all requests (any fidelity)",
+        report.goodput(),
+    );
+    registry.set_gauge(
+        "service_resilience_loss",
+        "Bruneau resilience loss of the run's Q(t)",
+        report.resilience_loss(),
+    );
+    for o in &report.outcomes {
+        if let Disposition::Served { latency, .. } = o.disposition {
+            registry.observe(
+                "service_latency_ticks",
+                "Served-request latency in logical ticks",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+                latency as f64,
+            );
+        }
     }
 }
 

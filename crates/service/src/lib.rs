@@ -56,7 +56,9 @@ pub mod request;
 pub use breaker::{BreakerState, BreakerTransition, CircuitBreaker};
 pub use brownout::{BrownoutConfig, BrownoutController};
 pub use bulkhead::{Bulkhead, Job};
-pub use engine::{FamilyStats, ServiceConfig, ServiceEngine, ServiceReport};
+pub use engine::{
+    record_service_metrics, FamilyStats, ServiceConfig, ServiceEngine, ServiceReport,
+};
 pub use request::{
     Disposition, Fidelity, Request, RequestOutcome, RequestTrace, ShedReason, TraceSpec,
 };

@@ -153,7 +153,7 @@ impl RequestTrace {
 }
 
 /// The fidelity a request was served at.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Fidelity {
     /// Full-cost backend computation.
     Full,
@@ -182,7 +182,7 @@ impl fmt::Display for Fidelity {
 }
 
 /// Why admission control rejected a request on arrival.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ShedReason {
     /// The family's bulkhead queue was at capacity.
     QueueFull,
@@ -204,7 +204,7 @@ impl fmt::Display for ShedReason {
 }
 
 /// The adjudicated fate of one request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Disposition {
     /// The request was served (possibly degraded).
     Served {
@@ -231,7 +231,7 @@ pub enum Disposition {
 }
 
 /// One line of the per-request outcome log.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RequestOutcome {
     /// Request id.
     pub id: u64,

@@ -1,0 +1,97 @@
+//! Deterministic observability spine for the Systems Resilience
+//! workspace.
+//!
+//! The paper's central quantitative object is the quality trajectory
+//! `Q(t)` and its Bruneau integral `R = ∫ [100 − Q(t)] dt`; before this
+//! crate, the workspace only surfaced `Q(t)` post-hoc in bespoke report
+//! structs. This crate is one coherent instrumentation layer over all
+//! four engines — the supervised Monte Carlo runtime, the DCSP
+//! verification engine, the serving layer, and the bench drivers:
+//!
+//! * [`trace`] — typed events ([`Event`]) stamped with the logical
+//!   clock, recorded through per-worker [`TraceBuffer`]s (plain owned
+//!   `Vec` pushes, no locks) and merged by sorting on
+//!   `(tick, lane, seq)`, so the full trace is **bit-identical for any
+//!   thread budget**.
+//! * [`metrics`] — a [`MetricsRegistry`] of counters, gauges, and
+//!   fixed-bucket histograms with Prometheus text exposition and JSON
+//!   export, both rendered in deterministic order.
+//! * [`spans`] — a chrome://tracing span emitter. Spans carry
+//!   *wall-clock* durations and live only in the perf side channel;
+//!   nothing deterministic reads them.
+//! * [`trajectory`] — live `Q(t)`/Bruneau scoring: a
+//!   [`TrajectoryObserver`] folds deficit charges into the quality
+//!   series incrementally and attributes the Bruneau deficit to cause
+//!   (shed vs failed vs degraded vs supervisor-retry).
+//! * [`report`] — derivation of runtime telemetry from a supervised
+//!   [`RunReport`](resilience_core::faults::RunReport)'s logical
+//!   attempt log.
+//! * [`schema`] — an offline JSON-Schema-subset validator, so CI can
+//!   check the exported metrics document against a checked-in schema
+//!   without network access.
+//!
+//! # Determinism contract
+//!
+//! Telemetry is opt-in; engines take `Option<&mut Telemetry>` (or a
+//! `_traced` entry point) and the `None` path does no work. When on,
+//! everything recorded into [`Tracer`], [`MetricsRegistry`], and
+//! [`TrajectoryObserver`] is a pure function of logical state — tick
+//! clocks, seeded draws, rank orders — never of scheduling, so traces,
+//! expositions, and attributions are byte-identical across `--threads`
+//! budgets *and* the instrumented run's deterministic outputs are
+//! byte-identical to the uninstrumented run. Only [`SpanRecorder`]
+//! touches wall-clock time, and it is quarantined from the rest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Library code must surface failures as typed errors or documented
+// panics, never `unwrap()`; tests are exempt because a failed unwrap
+// there *is* the assertion.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod metrics;
+pub mod report;
+pub mod schema;
+pub mod spans;
+pub mod trace;
+pub mod trajectory;
+
+pub use metrics::{Histogram, MetricValue, MetricsRegistry};
+pub use report::{record_run_events, record_run_metrics, trajectory_of_run};
+pub use schema::validate;
+pub use spans::{Span, SpanRecorder};
+pub use trace::{Event, PlanAction, TraceBuffer, TraceEvent, Tracer};
+pub use trajectory::{DeficitAttribution, DeficitCause, TrajectoryObserver};
+
+/// The full telemetry bundle an instrumented engine records into: the
+/// deterministic trace, metrics, and trajectory, plus the wall-clock
+/// span side channel.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// Structured event trace (deterministic).
+    pub tracer: Tracer,
+    /// Metrics registry (deterministic).
+    pub metrics: MetricsRegistry,
+    /// Live Q(t) observer with deficit attribution (deterministic).
+    pub trajectory: TrajectoryObserver,
+    /// Wall-clock spans (perf side channel only).
+    pub spans: SpanRecorder,
+}
+
+impl Telemetry {
+    /// A fresh bundle whose trajectory samples with spacing `dt`.
+    pub fn new(dt: f64) -> Self {
+        Telemetry {
+            tracer: Tracer::new(),
+            metrics: MetricsRegistry::new(),
+            trajectory: TrajectoryObserver::new(dt),
+            spans: SpanRecorder::new(),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new(1.0)
+    }
+}

@@ -1,0 +1,229 @@
+//! A minimal, offline JSON-Schema-subset validator.
+//!
+//! CI validates the `--metrics-out` document against the checked-in
+//! `schemas/metrics.schema.json` without network access or external
+//! crates, so only the subset that schema needs is implemented:
+//!
+//! * `type` (string or array of strings): `object`, `array`, `string`,
+//!   `number`, `integer`, `boolean`, `null`
+//! * `properties` + `required` (unknown properties are allowed)
+//! * `items` (single schema applied to every element)
+//! * `enum` (value equality)
+//! * `minimum` / `maximum` (numeric), `minItems`
+//!
+//! Unknown keywords are ignored, like any forward-compatible
+//! validator. Errors carry a JSON-pointer-ish path to the offending
+//! value.
+
+use serde::Value;
+
+/// Validate `value` against `schema`. `Ok(())` when every constraint
+/// holds; otherwise every violation found, each as `path: message`.
+pub fn validate(schema: &Value, value: &Value) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    check(schema, value, "$", &mut errors);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn check(schema: &Value, value: &Value, path: &str, errors: &mut Vec<String>) {
+    let fields = match schema {
+        Value::Object(fields) => fields,
+        // A non-object schema (e.g. `true`) constrains nothing.
+        _ => return,
+    };
+    let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+
+    if let Some(ty) = get("type") {
+        let allowed: Vec<&str> = match ty {
+            Value::String(s) => vec![s.as_str()],
+            Value::Array(items) => items
+                .iter()
+                .filter_map(|v| match v {
+                    Value::String(s) => Some(s.as_str()),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        if !allowed.is_empty() && !allowed.iter().any(|t| matches_type(t, value)) {
+            errors.push(format!(
+                "{path}: expected type {}, got {}",
+                allowed.join("|"),
+                type_name(value)
+            ));
+            // Structural keywords below assume the right shape.
+            return;
+        }
+    }
+
+    if let Some(Value::Array(options)) = get("enum") {
+        if !options.iter().any(|opt| opt == value) {
+            errors.push(format!("{path}: value not in enum"));
+        }
+    }
+
+    if let Some(min) = get("minimum").and_then(as_number) {
+        if let Some(v) = as_number(value) {
+            if v < min {
+                errors.push(format!("{path}: {v} below minimum {min}"));
+            }
+        }
+    }
+    if let Some(max) = get("maximum").and_then(as_number) {
+        if let Some(v) = as_number(value) {
+            if v > max {
+                errors.push(format!("{path}: {v} above maximum {max}"));
+            }
+        }
+    }
+
+    if let Value::Object(entries) = value {
+        if let Some(Value::Array(required)) = get("required") {
+            for name in required {
+                if let Value::String(name) = name {
+                    if !entries.iter().any(|(k, _)| k == name) {
+                        errors.push(format!("{path}: missing required property `{name}`"));
+                    }
+                }
+            }
+        }
+        if let Some(Value::Object(props)) = get("properties") {
+            for (name, sub) in props {
+                if let Some((_, v)) = entries.iter().find(|(k, _)| k == name) {
+                    check(sub, v, &format!("{path}.{name}"), errors);
+                }
+            }
+        }
+    }
+
+    if let Value::Array(items) = value {
+        if let Some(min_items) = get("minItems").and_then(as_number) {
+            if (items.len() as f64) < min_items {
+                errors.push(format!(
+                    "{path}: {} items below minItems {min_items}",
+                    items.len()
+                ));
+            }
+        }
+        if let Some(item_schema) = get("items") {
+            for (i, v) in items.iter().enumerate() {
+                check(item_schema, v, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+fn matches_type(ty: &str, value: &Value) -> bool {
+    match ty {
+        "object" => matches!(value, Value::Object(_)),
+        "array" => matches!(value, Value::Array(_)),
+        "string" => matches!(value, Value::String(_)),
+        "boolean" => matches!(value, Value::Bool(_)),
+        "null" => matches!(value, Value::Null),
+        "number" => as_number(value).is_some(),
+        "integer" => match value {
+            Value::UInt(_) | Value::Int(_) => true,
+            Value::Float(f) => f.fract() == 0.0,
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn as_number(value: &Value) -> Option<f64> {
+    match value {
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn type_name(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::UInt(_) | Value::Int(_) | Value::Float(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        serde_json::parse_value_complete(s).expect("test JSON parses")
+    }
+
+    #[test]
+    fn accepts_conforming_document() {
+        let schema = parse(
+            r#"{
+                "type": "object",
+                "required": ["metrics"],
+                "properties": {
+                    "metrics": {
+                        "type": "array",
+                        "minItems": 1,
+                        "items": {
+                            "type": "object",
+                            "required": ["name", "type"],
+                            "properties": {
+                                "name": {"type": "string"},
+                                "type": {"enum": ["counter", "gauge", "histogram"]},
+                                "value": {"type": "number", "minimum": 0}
+                            }
+                        }
+                    }
+                }
+            }"#,
+        );
+        let doc = parse(r#"{"metrics": [{"name": "a", "type": "counter", "value": 3}]}"#);
+        assert_eq!(validate(&schema, &doc), Ok(()));
+    }
+
+    #[test]
+    fn reports_all_violations_with_paths() {
+        let schema = parse(
+            r#"{
+                "type": "object",
+                "required": ["a", "b"],
+                "properties": {"a": {"type": "string"}, "c": {"minimum": 10}}
+            }"#,
+        );
+        let doc = parse(r#"{"a": 1, "c": 3}"#);
+        let errs = validate(&schema, &doc).expect_err("must fail");
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("$.a") && e.contains("string")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("missing required property `b`")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("$.c") && e.contains("minimum")));
+    }
+
+    #[test]
+    fn integer_type_accepts_whole_floats_only() {
+        let schema = parse(r#"{"type": "integer"}"#);
+        assert!(validate(&schema, &parse("3")).is_ok());
+        assert!(validate(&schema, &parse("3.0")).is_ok());
+        assert!(validate(&schema, &parse("3.5")).is_err());
+    }
+
+    #[test]
+    fn type_union_and_unknown_keywords() {
+        let schema = parse(r#"{"type": ["string", "null"], "futureKeyword": 1}"#);
+        assert!(validate(&schema, &parse("\"x\"")).is_ok());
+        assert!(validate(&schema, &parse("null")).is_ok());
+        assert!(validate(&schema, &parse("4")).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! chrome://tracing span emission — the *wall-clock* side channel.
+//!
+//! Spans measure real durations of hot loops for profiling, so they
+//! are explicitly **outside** the determinism contract: two runs of
+//! the same seed produce different span timings. Nothing in the
+//! deterministic trace, metrics, or trajectory paths reads a span.
+//! The emitted JSON loads in `chrome://tracing` / Perfetto ("X"
+//! complete events with microsecond timestamps).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Span label.
+    pub name: String,
+    /// Thread lane shown in the viewer.
+    pub tid: u32,
+    /// Microseconds since the recorder's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Records wall-clock spans relative to its construction instant.
+#[derive(Debug)]
+pub struct SpanRecorder {
+    epoch: Instant,
+    spans: Vec<Span>,
+}
+
+impl Default for SpanRecorder {
+    fn default() -> Self {
+        SpanRecorder::new()
+    }
+}
+
+impl SpanRecorder {
+    /// A recorder whose epoch is now.
+    pub fn new() -> Self {
+        SpanRecorder {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Run `f`, recording its wall-clock duration as a span named
+    /// `name` on lane `tid`.
+    pub fn time<T>(&mut self, name: &str, tid: u32, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let dur = start.elapsed();
+        self.spans.push(Span {
+            name: name.to_string(),
+            tid,
+            start_us: start.duration_since(self.epoch).as_micros() as u64,
+            dur_us: dur.as_micros() as u64,
+        });
+        out
+    }
+
+    /// Record an externally measured span.
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// Spans recorded so far.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The chrome://tracing JSON document (`traceEvents` with phase
+    /// `"X"` complete events).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"perf\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+                s.name.replace('\\', "\\\\").replace('"', "\\\""),
+                s.tid,
+                s.start_us,
+                s.dur_us
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders_spans() {
+        let mut rec = SpanRecorder::new();
+        let v = rec.time("work", 1, || 41 + 1);
+        assert_eq!(v, 42);
+        rec.push(Span {
+            name: "fixed".to_string(),
+            tid: 2,
+            start_us: 10,
+            dur_us: 5,
+        });
+        let json = rec.to_chrome_json();
+        assert!(json.contains("\"name\":\"work\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":2,\"ts\":10,\"dur\":5"));
+        assert!(json.starts_with('{') && json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn escapes_quotes_in_names() {
+        let mut rec = SpanRecorder::new();
+        rec.push(Span {
+            name: "a\"b".to_string(),
+            tid: 0,
+            start_us: 0,
+            dur_us: 1,
+        });
+        assert!(rec.to_chrome_json().contains("a\\\"b"));
+    }
+}

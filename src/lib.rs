@@ -24,6 +24,10 @@
 //! * [`service`] — the graceful-degradation serving layer: deadline-aware
 //!   admission control, per-family bulkheads, circuit breakers, and a
 //!   self-scored brownout controller over the experiment engines.
+//! * [`telemetry`] — the deterministic observability spine: structured
+//!   event tracing, a metrics registry with Prometheus/JSON exposition,
+//!   chrome://tracing spans, and live Q(t) scoring with per-cause
+//!   deficit attribution.
 //!
 //! # Quickstart
 //!
@@ -46,3 +50,4 @@ pub use resilience_engineering as engineering;
 pub use resilience_networks as networks;
 pub use resilience_service as service;
 pub use resilience_stats as stats;
+pub use resilience_telemetry as telemetry;

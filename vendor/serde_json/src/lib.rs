@@ -92,8 +92,18 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::UInt(u) => out.push_str(&u.to_string()),
-        Value::Int(i) => out.push_str(&i.to_string()),
+        // Integers are formatted into a stack buffer rather than through
+        // `fmt`/`to_string` — numbers dominate large trace documents and
+        // the formatting machinery costs more than the digits.
+        Value::UInt(u) => write_json_u64(out, *u),
+        Value::Int(i) => {
+            if *i < 0 {
+                out.push('-');
+                write_json_u64(out, i.unsigned_abs());
+            } else {
+                write_json_u64(out, *i as u64);
+            }
+        }
         Value::Float(f) => {
             if f.is_finite() {
                 // Match serde_json: floats always carry a decimal point or
@@ -107,7 +117,7 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
                 out.push_str("null");
             }
         }
-        Value::String(s) => write_string(out, s),
+        Value::String(s) => write_json_string(out, s),
         Value::Array(items) => {
             if items.is_empty() {
                 out.push_str("[]");
@@ -135,7 +145,7 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
                     out.push(',');
                 }
                 newline_indent(out, indent, depth + 1);
-                write_string(out, k);
+                write_json_string(out, k);
                 out.push(':');
                 if indent.is_some() {
                     out.push(' ');
@@ -148,17 +158,48 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
     }
 }
 
+/// Append `u` to `out` in decimal, formatted into a stack buffer.
+/// Public for the same streaming serializers as [`write_json_string`].
+pub fn write_json_u64(out: &mut String, mut u: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (u % 10) as u8;
+        u /= 10;
+        if u == 0 {
+            break;
+        }
+    }
+    // The buffer holds only ASCII digits, so this never fails.
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("digits are UTF-8"));
+}
+
 fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    const SPACES: &str = "                                                                ";
     if let Some(width) = indent {
         out.push('\n');
-        for _ in 0..width * depth {
-            out.push(' ');
+        let mut n = width * depth;
+        while n > 0 {
+            let chunk = n.min(SPACES.len());
+            out.push_str(&SPACES[..chunk]);
+            n -= chunk;
         }
     }
 }
 
-fn write_string(out: &mut String, s: &str) {
+/// Append `s` to `out` as a quoted JSON string, escaping as needed.
+/// Public so hand-rolled streaming serializers (e.g. large trace
+/// documents) can reuse the exact escaping of the generic writer.
+pub fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
+    // Fast path: most strings (all object keys, enum tags, labels) need
+    // no escaping and can be appended in one copy.
+    if s.bytes().all(|b| b >= 0x20 && b != b'"' && b != b'\\') {
+        out.push_str(s);
+        out.push('"');
+        return;
+    }
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
