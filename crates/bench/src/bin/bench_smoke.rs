@@ -21,10 +21,19 @@
 //! attribution reconciles with the report's own Bruneau loss (the
 //! source of the checked-in `BENCH_5.json`).
 //!
+//! `bench_smoke cluster` measures the cascade simulator at scale:
+//! million-node topology generation, a 100k-node fleet run under a
+//! targeted attack with recovery (eight trials, timed at one and four
+//! threads), and a million-node attack run. It cross-checks that the
+//! attack-vs-random experiment table and the serialized 100k cascade
+//! logs are byte-identical across thread budgets (the source of the
+//! checked-in `BENCH_6.json`).
+//!
 //! ```bash
 //! cargo run --release -p resilience-bench --bin bench_smoke > BENCH_2.json
 //! cargo run --release -p resilience-bench --bin bench_smoke -- faults > BENCH_3.json
 //! cargo run --release -p resilience-bench --bin bench_smoke -- telemetry > BENCH_5.json
+//! cargo run --release -p resilience-bench --bin bench_smoke -- cluster > BENCH_6.json
 //! ```
 
 // Drivers surface failures as `die(...)` usage errors or documented
@@ -368,6 +377,164 @@ fn run_telemetry_smoke(reps: usize) {
     );
 }
 
+#[derive(Serialize)]
+struct ClusterScale {
+    /// Fleet size of the thread-scaled workload.
+    hundred_k_nodes: usize,
+    hundred_k_ticks: u64,
+    hundred_k_trials: u64,
+    hundred_k_threads1_secs: f64,
+    hundred_k_threads4_secs: f64,
+    hundred_k_thread_scaling: f64,
+    /// Node-ticks per second of the single-threaded workload.
+    hundred_k_node_ticks_per_sec: f64,
+    /// Cascade topples summed over the 100k trials (must be non-zero —
+    /// the workload has to actually exercise the sandpile machinery).
+    hundred_k_toppled: u64,
+    million_nodes: usize,
+    million_topology_build_secs: f64,
+    million_topology_nodes_per_sec: f64,
+    /// One million-node run: hub attack at tick 1, scored to tick 5.
+    million_run_ticks: u64,
+    million_run_secs: f64,
+    million_run_node_ticks_per_sec: f64,
+    /// Surviving giant-component fraction after the million-node attack.
+    million_final_giant_fraction: f64,
+}
+
+#[derive(Serialize)]
+struct ClusterSmoke {
+    cluster_scale: ClusterScale,
+    meta: Meta,
+}
+
+/// `bench_smoke cluster`: cascade-simulator scale numbers + cross-thread
+/// bit-identity of experiment tables and serialized cascade logs.
+fn run_cluster_smoke(reps: usize) {
+    use resilience_bench::experiments::c01_cluster_attack;
+    use resilience_cluster::{AttackSpec, ClusterConfig, ClusterEngine, CsrTopology, TopologyKind};
+    use resilience_core::FaultPlan;
+    use resilience_networks::AttackStrategy;
+
+    // Gate 1: the attack-vs-random experiment table is bit-identical
+    // across thread budgets.
+    let table1 = c01_cluster_attack::run(&RunContext::with_threads(0, 1));
+    let table4 = c01_cluster_attack::run(&RunContext::with_threads(0, 4));
+    if table1 != table4 {
+        eprintln!("FAIL: cluster_attack table depends on thread count");
+        std::process::exit(1);
+    }
+
+    // The thread-scaled workload: a 100k-node scale-free fleet, surge
+    // load plus a recoverable hub attack, eight seeded trials folded
+    // into serialized cascade logs.
+    const HK_NODES: usize = 100_000;
+    const HK_TICKS: u64 = 30;
+    const HK_TRIALS: u64 = 8;
+    let mut config = ClusterConfig::new(HK_NODES, TopologyKind::ScaleFree { m: 3 });
+    config.ticks = HK_TICKS;
+    config.headroom = 1.0;
+    config.surge_drops = 200;
+    config.surge_grain = 0.5;
+    let engine = ClusterEngine::new(config, 0xC1);
+    let attack = AttackSpec {
+        tick: 5,
+        strategy: AttackStrategy::TargetedByDegree,
+        fraction: 0.05,
+        recoverable: true,
+    };
+    let logs_at = |threads: usize| -> Vec<(String, u64)> {
+        let ctx = RunContext::with_threads(0xC2, threads);
+        ctx.run_trials(
+            HK_TRIALS,
+            ctx.derive(1),
+            |_trial, rng| {
+                let run_seed: u64 = rng.gen();
+                let report = engine.run(run_seed, Some(&attack), &FaultPlan::none());
+                let log = serde_json::to_string(&report).expect("cluster reports serialize");
+                (log, report.total_toppled())
+            },
+            Vec::new(),
+            |mut acc, log| {
+                acc.push(log);
+                acc
+            },
+        )
+    };
+
+    // Gate 2: the serialized cascade logs are byte-identical at one and
+    // four threads, and the workload genuinely cascades.
+    let logs1 = logs_at(1);
+    let logs4 = logs_at(4);
+    if logs1 != logs4 {
+        eprintln!("FAIL: 100k-node cascade logs depend on thread count");
+        std::process::exit(1);
+    }
+    let toppled: u64 = logs1.iter().map(|(_, toppled)| toppled).sum();
+    if toppled == 0 {
+        eprintln!("FAIL: the 100k-node workload never cascaded");
+        std::process::exit(1);
+    }
+
+    let t1_secs = median_secs(reps, || logs_at(1));
+    let t4_secs = median_secs(reps, || logs_at(4));
+
+    // Million-node scale: topology generation, then one attacked run.
+    const M_NODES: usize = 1_000_000;
+    const M_TICKS: u64 = 5;
+    let m_kind = TopologyKind::ScaleFree { m: 3 };
+    let m_topology_secs = median_secs(reps, || CsrTopology::generate(&m_kind, M_NODES, 0xC3));
+    let mut m_config = ClusterConfig::new(M_NODES, m_kind);
+    m_config.ticks = M_TICKS;
+    m_config.headroom = 1.0;
+    let m_engine = ClusterEngine::new(m_config, 0xC3);
+    let m_attack = AttackSpec {
+        tick: 1,
+        strategy: AttackStrategy::TargetedByDegree,
+        fraction: 0.1,
+        recoverable: false,
+    };
+    let m_report = m_engine.run(7, Some(&m_attack), &FaultPlan::none());
+    let m_secs = median_secs(reps, || {
+        m_engine.run(7, Some(&m_attack), &FaultPlan::none())
+    });
+
+    let node_ticks = (HK_NODES as u64 * HK_TICKS * HK_TRIALS) as f64;
+    let smoke = ClusterSmoke {
+        cluster_scale: ClusterScale {
+            hundred_k_nodes: HK_NODES,
+            hundred_k_ticks: HK_TICKS,
+            hundred_k_trials: HK_TRIALS,
+            hundred_k_threads1_secs: t1_secs,
+            hundred_k_threads4_secs: t4_secs,
+            hundred_k_thread_scaling: t1_secs / t4_secs,
+            hundred_k_node_ticks_per_sec: node_ticks / t1_secs,
+            hundred_k_toppled: toppled,
+            million_nodes: M_NODES,
+            million_topology_build_secs: m_topology_secs,
+            million_topology_nodes_per_sec: M_NODES as f64 / m_topology_secs,
+            million_run_ticks: M_TICKS,
+            million_run_secs: m_secs,
+            million_run_node_ticks_per_sec: (M_NODES as u64 * M_TICKS) as f64 / m_secs,
+            million_final_giant_fraction: m_report.final_giant as f64 / m_report.n as f64,
+        },
+        meta: Meta {
+            profile: if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+            repetitions: reps,
+            timing: "median wall seconds per run",
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        },
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&smoke).expect("serializes")
+    );
+}
+
 fn main() {
     let reps = 5;
     match std::env::args().nth(1).as_deref() {
@@ -377,6 +544,10 @@ fn main() {
         }
         Some("telemetry") => {
             run_telemetry_smoke(reps);
+            return;
+        }
+        Some("cluster") => {
+            run_cluster_smoke(reps);
             return;
         }
         _ => {}

@@ -1,4 +1,5 @@
-//! Regenerate the paper-reproduction tables (E1–E22).
+//! Regenerate the paper-reproduction tables (E1–E22 plus the
+//! `cluster_*` cascade-simulator experiments).
 //!
 //! Usage:
 //!
@@ -6,6 +7,7 @@
 //! experiments                 # run everything, Markdown to stdout
 //! experiments e4 e15          # selected experiments
 //! experiments --only e4,e15   # same, comma-separated
+//! experiments --only 'cluster_*'  # trailing `*` selects by prefix
 //! experiments --seed 7 e12    # override the master seed
 //! experiments --json e1       # machine-readable output
 //! experiments --threads 4     # parallel Monte Carlo (same tables!)
@@ -52,6 +54,13 @@
 //! writes a JSON array of `{id, events}` documents. The trace is a
 //! pure function of the report, so it is bit-identical for any
 //! `--threads` value and identical between resumed and live runs.
+//!
+//! `--metrics-out <path>` folds each run report into a metrics
+//! registry (`runtime_*` family) and writes a JSON array of
+//! `{id, prometheus}` documents carrying the Prometheus text
+//! exposition. Like the trace, it is a pure function of the report:
+//! bit-identical for any `--threads` value, with or without a
+//! recoverable fault plan.
 
 // Drivers surface failures as `die(...)` usage errors or documented
 // panics, never bare `unwrap()`.
@@ -61,7 +70,7 @@ use resilience_bench::experiments::registry;
 use resilience_bench::{CheckpointEntry, ExperimentCheckpoint, ReportEntry, ReportJournal};
 use resilience_core::faults::LostTrial;
 use resilience_core::{FaultConfig, RunContext, RunReport, Supervision};
-use resilience_telemetry::{record_run_events, Tracer};
+use resilience_telemetry::{record_run_events, record_run_metrics, MetricsRegistry, Tracer};
 use std::time::Instant;
 
 fn main() {
@@ -73,6 +82,7 @@ fn main() {
     let mut resume_path: Option<String> = None;
     let mut report_json: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -119,6 +129,12 @@ fn main() {
                     .unwrap_or_else(|| die("--trace-out needs an output path"));
                 trace_out = Some(raw);
             }
+            "--metrics-out" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--metrics-out needs an output path"));
+                metrics_out = Some(raw);
+            }
             "--only" => {
                 let list = it
                     .next()
@@ -129,7 +145,8 @@ fn main() {
                 eprintln!(
                     "usage: experiments [--seed N] [--threads N] [--json] \
                      [--fault-plan SPEC] [--resume PATH] [--report-json PATH] \
-                     [--trace-out PATH] [--only e2,e3] [e1 e2 ... e22]"
+                     [--trace-out PATH] [--metrics-out PATH] \
+                     [--only e2,e3,cluster_*] [e1 e2 ... e22 cluster_attack ...]"
                 );
                 return;
             }
@@ -169,12 +186,15 @@ fn main() {
         reg
     } else {
         for w in &wanted {
-            if !reg.iter().any(|(id, _)| id == w) {
-                die(&format!("unknown experiment `{w}` (expected e1..e22)"));
+            if !reg.iter().any(|(id, _)| matches_selection(id, w)) {
+                die(&format!(
+                    "unknown experiment `{w}` (expected e1..e22 or cluster_*; \
+                     a trailing `*` selects by prefix)"
+                ));
             }
         }
         reg.into_iter()
-            .filter(|(id, _)| wanted.iter().any(|w| w == id))
+            .filter(|(id, _)| wanted.iter().any(|w| matches_selection(id, w)))
             .collect()
     };
     let wants_reports = report_json.is_some() || trace_out.is_some();
@@ -289,6 +309,35 @@ fn main() {
         std::fs::write(path, format!("{rendered}\n"))
             .unwrap_or_else(|err| die(&format!("cannot write --trace-out {path}: {err}")));
         eprintln!("{} event trace(s) written to {path}", docs.len());
+    }
+    if let Some(path) = &metrics_out {
+        let docs: Vec<serde::Value> = reports
+            .iter()
+            .map(|(id, report)| {
+                let mut registry = MetricsRegistry::new();
+                record_run_metrics(&mut registry, report);
+                serde::Value::Object(vec![
+                    ("id".to_string(), serde::Serialize::serialize(id)),
+                    (
+                        "prometheus".to_string(),
+                        serde::Serialize::serialize(&registry.to_prometheus()),
+                    ),
+                ])
+            })
+            .collect();
+        let rendered = serde_json::to_string_pretty(&docs).expect("metrics render");
+        std::fs::write(path, format!("{rendered}\n"))
+            .unwrap_or_else(|err| die(&format!("cannot write --metrics-out {path}: {err}")));
+        eprintln!("{} metrics exposition(s) written to {path}", docs.len());
+    }
+}
+
+/// Does experiment `id` match selection token `w`? A trailing `*`
+/// matches by prefix (`cluster_*`); anything else matches exactly.
+fn matches_selection(id: &str, w: &str) -> bool {
+    match w.strip_suffix('*') {
+        Some(prefix) => id.starts_with(prefix),
+        None => id == w,
     }
 }
 

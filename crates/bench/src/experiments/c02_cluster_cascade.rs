@@ -1,0 +1,187 @@
+//! CLUSTER_CASCADE — cascade-size statistics at and away from
+//! criticality (paper §5.2: self-organized criticality, power-law
+//! cascade sizes).
+//!
+//! Two arms run the same surge-driven scale-free cluster, differing
+//! only in overload headroom. The *critical* arm leaves just enough
+//! slack that a single grain can tip a node, so topples chain through
+//! the hub structure; the *padded* control doubles the headroom and
+//! cascades stay local. Every cascade's size (trigger + toppled) is
+//! pooled per arm across seeded replicates, and the critical arm's
+//! pool is checked for a heavy tail: Hill tail-exponent estimate plus
+//! max/median dispersion.
+
+use crate::table::ExperimentTable;
+use resilience_cluster::{ClusterConfig, ClusterEngine, TopologyKind};
+use resilience_core::{FaultPlan, RunContext};
+use resilience_stats::hill_estimator;
+
+/// Seeded replicates per arm.
+const REPLICATES: u64 = 10;
+
+/// Fleet size per run.
+const N: usize = 3_000;
+
+/// The two arms: (label, overload headroom).
+const ARMS: [(&str, f64); 2] = [("critical", 0.7), ("padded", 4.0)];
+
+fn arm_engine(headroom: f64, topology_seed: u64) -> ClusterEngine {
+    let mut config = ClusterConfig::new(N, TopologyKind::ScaleFree { m: 2 });
+    // Slow drive, local relaxation: a grain can tip only the lowest-
+    // degree nodes, whose shed load can in turn tip low-degree
+    // neighbors but is absorbed by hubs — so avalanche sizes are set
+    // by the topology's vulnerable-cluster structure plus the stress
+    // the hubs have accumulated (the sandpile memory). Few grains per
+    // tick keep same-tick avalanches separable.
+    config.headroom = headroom;
+    config.surge_drops = 6;
+    config.surge_grain = 0.40;
+    config.drain = 0.05;
+    config.ticks = 300;
+    ClusterEngine::new(config, topology_seed)
+}
+
+/// Summary statistics of one arm's pooled cascade sizes.
+pub struct ArmStats {
+    /// Cascades observed.
+    pub count: usize,
+    /// Median size.
+    pub p50: f64,
+    /// 99th-percentile size.
+    pub p99: f64,
+    /// Largest cascade.
+    pub max: f64,
+    /// Hill tail-exponent estimate (smaller = heavier tail).
+    pub alpha: Option<f64>,
+}
+
+fn summarize(mut sizes: Vec<f64>) -> ArmStats {
+    sizes.sort_by(f64::total_cmp);
+    let q = |p: f64| -> f64 {
+        if sizes.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sizes.len() - 1) as f64 * p).round() as usize;
+        sizes[idx]
+    };
+    let k = (sizes.len() / 10).clamp(10, 500);
+    ArmStats {
+        count: sizes.len(),
+        p50: q(0.5),
+        p99: q(0.99),
+        max: sizes.last().copied().unwrap_or(0.0),
+        alpha: hill_estimator(&sizes, k),
+    }
+}
+
+/// Run CLUSTER_CASCADE.
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let engines: Vec<ClusterEngine> = ARMS
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, headroom))| arm_engine(headroom, ctx.derive(620 + i as u64)))
+        .collect();
+
+    // One trial per (arm, replicate); each returns that run's sizes.
+    let pooled: Vec<(usize, Vec<u64>)> = ctx.run_trials(
+        ARMS.len() as u64 * REPLICATES,
+        ctx.derive(630),
+        |trial, rng| {
+            use rand::Rng;
+            let arm = (trial / REPLICATES) as usize;
+            let run_seed: u64 = rng.gen();
+            let report = engines[arm].run(run_seed, None, &FaultPlan::none());
+            (arm, report.cascade_sizes())
+        },
+        Vec::new(),
+        |mut acc, item| {
+            acc.push(item);
+            acc
+        },
+    );
+
+    let mut rows = Vec::new();
+    let mut stats: Vec<ArmStats> = Vec::new();
+    for (arm, (label, headroom)) in ARMS.iter().enumerate() {
+        let sizes: Vec<f64> = pooled
+            .iter()
+            .filter(|(a, _)| *a == arm)
+            .flat_map(|(_, s)| s.iter().map(|&x| x as f64))
+            .collect();
+        let s = summarize(sizes);
+        rows.push(vec![
+            (*label).into(),
+            format!("{headroom:.2}"),
+            s.count.to_string(),
+            format!("{:.0}", s.p50),
+            format!("{:.0}", s.p99),
+            format!("{:.0}", s.max),
+            s.alpha.map_or_else(|| "-".into(), |a| format!("{a:.2}")),
+        ]);
+        stats.push(s);
+    }
+    let dispersion = stats[0].max / stats[0].p50.max(1.0);
+    let control_dispersion = stats[1].max / stats[1].p50.max(1.0);
+
+    ExperimentTable {
+        perf: None,
+        id: "CLUSTER_CASCADE".into(),
+        title: "Cascade sizes: heavy tail at criticality, light tail with slack".into(),
+        claim: "§5.2 (Bak): slowly driven systems self-organize to a critical \
+                state where relaxation events have no characteristic scale — \
+                cascade sizes follow a power law; ample headroom destroys the \
+                criticality and cascades stay bounded"
+            .into(),
+        headers: vec![
+            "arm".into(),
+            "headroom α".into(),
+            "cascades".into(),
+            "p50 size".into(),
+            "p99 size".into(),
+            "max size".into(),
+            "Hill tail α̂".into(),
+        ],
+        rows,
+        finding: format!(
+            "at criticality the largest cascade is {dispersion:.0}× the \
+             median (padded control: {control_dispersion:.0}×) with Hill \
+             tail exponent {} — scale-free event sizes emerge from the \
+             drive-and-relax dynamics alone, with no tuned trigger",
+            stats[0]
+                .alpha
+                .map_or_else(|| "n/a".into(), |a| format!("{a:.2}"))
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_arm_shows_heavy_tail() {
+        let t = run(&RunContext::new(0));
+        assert_eq!(t.rows.len(), 2);
+        let critical_max: f64 = t.rows[0][5].parse().unwrap();
+        let critical_p50: f64 = t.rows[0][3].parse().unwrap();
+        let padded_max: f64 = t.rows[1][5].parse().unwrap();
+        // Heavy tail at criticality: the largest cascade dwarfs the
+        // median event…
+        assert!(
+            critical_max >= 20.0 * critical_p50.max(1.0),
+            "no heavy tail: max {critical_max}, p50 {critical_p50}"
+        );
+        // …and dwarfs anything the padded control produces.
+        assert!(
+            critical_max >= 4.0 * padded_max.max(1.0),
+            "padding failed to bound cascades: critical {critical_max}, padded {padded_max}"
+        );
+        // The Hill estimate lands in the power-law band (finite-size
+        // sandpiles report exponents between ~1 and ~4).
+        let alpha: f64 = t.rows[0][6].parse().expect("critical arm has a tail fit");
+        assert!(
+            (0.5..=4.5).contains(&alpha),
+            "tail exponent {alpha} outside the power-law band"
+        );
+    }
+}

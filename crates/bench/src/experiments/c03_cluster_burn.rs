@@ -1,0 +1,185 @@
+//! CLUSTER_BURN — prescribed burns scored as ΔR (paper §5.3: small
+//! controlled perturbations prevent large collapses).
+//!
+//! Three policies run the same surge-stressed scale-free cluster under
+//! identical seeds: no intervention, periodic relief of the
+//! most-stressed nodes (the prescribed burn), and periodic relief of a
+//! random sample (the naive control). Burns are not free — every
+//! relieved node is charged a degraded tick — so a policy only wins if
+//! the cascades it prevents cost more than the burns themselves.
+//! ΔR = R(no-burn) − R(policy), paired per seed.
+
+use crate::table::ExperimentTable;
+use resilience_cluster::{BurnPolicy, ClusterConfig, ClusterEngine, TopologyKind};
+use resilience_core::{FaultPlan, RunContext};
+
+/// Seeded replicates per policy (paired across policies).
+const REPLICATES: u64 = 6;
+
+/// Fleet size per run.
+const N: usize = 2_000;
+
+/// The policies compared.
+fn policies() -> [(&'static str, BurnPolicy); 3] {
+    [
+        ("no burn", BurnPolicy::None),
+        (
+            "hub relief (prescribed burn)",
+            BurnPolicy::HubRelief {
+                fraction: 0.05,
+                period: 4,
+            },
+        ),
+        (
+            "random relief (control)",
+            BurnPolicy::RandomRelief {
+                fraction: 0.05,
+                period: 4,
+            },
+        ),
+    ]
+}
+
+fn engine_for(burn: BurnPolicy, topology_seed: u64) -> ClusterEngine {
+    let mut config = ClusterConfig::new(N, TopologyKind::ScaleFree { m: 3 });
+    // Accumulation regime: grains smaller than the headroom, weak
+    // drain — stress builds over many ticks until concentration
+    // topples a node, so relieving stress early can genuinely prevent
+    // cascades rather than merely reshuffle them.
+    config.headroom = 0.4;
+    config.surge_drops = 150;
+    config.surge_grain = 0.15;
+    config.drain = 0.02;
+    config.ticks = 60;
+    config.burn = burn;
+    ClusterEngine::new(config, topology_seed)
+}
+
+/// Run CLUSTER_BURN.
+pub fn run(ctx: &RunContext) -> ExperimentTable {
+    let policy_list = policies();
+    let topology_seed = ctx.derive(640);
+    let engines: Vec<ClusterEngine> = policy_list
+        .iter()
+        .map(|(_, burn)| engine_for(burn.clone(), topology_seed))
+        .collect();
+
+    // Paired trials: replicate r uses the same run seed under every
+    // policy, so ΔR is a same-seed comparison, not a different-world
+    // one. The run seed is derived from the replicate index alone.
+    let results: Vec<(usize, u64, f64, u64)> = ctx.run_trials(
+        policy_list.len() as u64 * REPLICATES,
+        ctx.derive(650),
+        |trial, _rng| {
+            let policy = (trial / REPLICATES) as usize;
+            let replicate = trial % REPLICATES;
+            let run_seed = resilience_core::derive_seed(ctx.derive(651), replicate);
+            let report = engines[policy].run(run_seed, None, &FaultPlan::none());
+            (
+                policy,
+                replicate,
+                report.resilience_loss(),
+                report.largest_cascade(),
+            )
+        },
+        Vec::new(),
+        |mut acc, item| {
+            acc.push(item);
+            acc
+        },
+    );
+
+    let mean_r = |policy: usize| -> f64 {
+        results
+            .iter()
+            .filter(|(p, ..)| *p == policy)
+            .map(|&(_, _, r, _)| r)
+            .sum::<f64>()
+            / REPLICATES as f64
+    };
+    let worst_cascade = |policy: usize| -> u64 {
+        results
+            .iter()
+            .filter(|(p, ..)| *p == policy)
+            .map(|&(.., c)| c)
+            .max()
+            .unwrap_or(0)
+    };
+    let paired_wins = |policy: usize| -> u64 {
+        (0..REPLICATES)
+            .filter(|&rep| {
+                let r_of = |p: usize| {
+                    results
+                        .iter()
+                        .find(|&&(pp, rr, ..)| pp == p && rr == rep)
+                        .map(|&(_, _, r, _)| r)
+                        .unwrap_or(f64::MAX)
+                };
+                r_of(policy) < r_of(0)
+            })
+            .count() as u64
+    };
+
+    let baseline = mean_r(0);
+    let mut rows = Vec::new();
+    for (policy, (label, _)) in policy_list.iter().enumerate() {
+        let r = mean_r(policy);
+        rows.push(vec![
+            (*label).into(),
+            format!("{r:.0}"),
+            format!("{:.0}", baseline - r),
+            worst_cascade(policy).to_string(),
+            if policy == 0 {
+                "-".into()
+            } else {
+                format!("{}/{REPLICATES}", paired_wins(policy))
+            },
+        ]);
+    }
+    let hub_delta = baseline - mean_r(1);
+
+    ExperimentTable {
+        perf: None,
+        id: "CLUSTER_BURN".into(),
+        title: "Prescribed burns: controlled relief vs. letting stress accumulate".into(),
+        claim: "§5.3: deliberately introducing small perturbations — the \
+                prescribed burn — releases accumulated stress before it can \
+                feed a system-wide cascade, improving resilience even after \
+                paying for the burns themselves"
+            .into(),
+        headers: vec![
+            "policy".into(),
+            "mean R".into(),
+            "ΔR vs no-burn".into(),
+            "worst cascade".into(),
+            "paired wins".into(),
+        ],
+        rows,
+        finding: format!(
+            "relieving the 5% most-stressed nodes every 4 ticks buys \
+             ΔR = {hub_delta:.0} quality-point-ticks over letting stress \
+             accumulate, burn costs included — the prescribed-burn trade \
+             pays exactly when targeting tracks the stress distribution"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prescribed_burn_strictly_improves_r() {
+        let t = run(&RunContext::new(0));
+        assert_eq!(t.rows.len(), 3);
+        let r_none: f64 = t.rows[0][1].parse().unwrap();
+        let r_hub: f64 = t.rows[1][1].parse().unwrap();
+        assert!(
+            r_hub < r_none,
+            "hub relief must strictly improve R: {r_hub} vs {r_none}"
+        );
+        // The burn must be preventing damage, not just cheap: the
+        // no-burn arm has to show real cascade losses to beat.
+        assert!(r_none > 0.0, "the stress regime must actually hurt");
+    }
+}

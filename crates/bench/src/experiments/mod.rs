@@ -1,5 +1,11 @@
 //! One module per experiment; see DESIGN.md's experiment index.
+//!
+//! Numbered `eN` experiments reproduce single claims; the `cluster_*`
+//! family runs the multi-node cascade simulator (`crates/cluster`).
 
+pub mod c01_cluster_attack;
+pub mod c02_cluster_cascade;
+pub mod c03_cluster_burn;
 pub mod e01_bruneau;
 pub mod e02_recoverability;
 pub mod e03_maintainability;
@@ -56,6 +62,9 @@ pub fn registry() -> Vec<(&'static str, Runner)> {
         ("e20", e20_response::run),
         ("e21", e21_modularity::run),
         ("e22", e22_polarization::run),
+        ("cluster_attack", c01_cluster_attack::run),
+        ("cluster_cascade", c02_cluster_cascade::run),
+        ("cluster_burn", c03_cluster_burn::run),
     ]
 }
 
@@ -66,9 +75,14 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let reg = registry();
-        assert_eq!(reg.len(), 22);
-        for (i, (id, _)) in reg.iter().enumerate() {
+        assert_eq!(reg.len(), 25);
+        for (i, (id, _)) in reg.iter().take(22).enumerate() {
             assert_eq!(*id, format!("e{}", i + 1));
         }
+        let cluster: Vec<&str> = reg.iter().skip(22).map(|(id, _)| *id).collect();
+        assert_eq!(
+            cluster,
+            vec!["cluster_attack", "cluster_cascade", "cluster_burn"]
+        );
     }
 }

@@ -1,0 +1,106 @@
+//! End-to-end tests of the `experiments` binary's cluster surface:
+//! prefix-glob selection, and byte-identical `--trace-out` /
+//! `--metrics-out` expositions across thread budgets, with and without
+//! a recoverable chaos plan.
+
+use std::process::Command;
+
+fn experiments() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_experiments"));
+    cmd.env_remove("RESILIENCE_THREADS");
+    cmd.env_remove("RESILIENCE_ONLY");
+    cmd.env_remove("RESILIENCE_FAULTS");
+    cmd
+}
+
+/// A recoverable chaos plan: transient faults only, cleared within the
+/// retry budget, so tables must match the fault-free run bit for bit.
+const RECOVERABLE: &str = "seed=7,panic=0.05,times=2,retries=3,backoff_ms=0";
+
+#[test]
+fn cluster_glob_selects_the_cluster_family() {
+    let out = experiments()
+        .args(["--only", "cluster_*", "--json", "--seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in ["CLUSTER_ATTACK", "CLUSTER_CASCADE", "CLUSTER_BURN"] {
+        assert!(stdout.contains(id), "glob missed {id}");
+    }
+    assert!(
+        !stdout.contains("\"E1\""),
+        "glob must not select the numbered experiments"
+    );
+}
+
+#[test]
+fn unmatched_selection_exits_2_naming_the_token() {
+    let out = experiments()
+        .args(["--only", "cluster_zz*"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cluster_zz*"), "stderr: {stderr}");
+}
+
+/// Run `cluster_burn` (the cheapest cluster experiment) and return
+/// `(stdout, trace json, metrics json)`.
+fn cluster_run(threads: &str, fault_plan: Option<&str>, tag: &str) -> (String, String, String) {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("cluster_cli_trace_{tag}.json"));
+    let metrics = dir.join(format!("cluster_cli_metrics_{tag}.json"));
+    let mut cmd = experiments();
+    cmd.args(["--only", "cluster_burn", "--threads", threads])
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics);
+    if let Some(spec) = fault_plan {
+        cmd.args(["--fault-plan", spec]);
+    }
+    let out = cmd.output().expect("binary runs");
+    assert!(out.status.success(), "exit: {:?}", out.status);
+    let read = |path: &std::path::Path| {
+        let body = std::fs::read_to_string(path).expect("exposition written");
+        std::fs::remove_file(path).ok();
+        body
+    };
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        read(&trace),
+        read(&metrics),
+    )
+}
+
+#[test]
+fn cluster_expositions_are_thread_invariant_via_the_cli() {
+    let (table1, trace1, metrics1) = cluster_run("1", None, "t1");
+    let (table4, trace4, metrics4) = cluster_run("4", None, "t4");
+    assert_eq!(table1, table4, "table depends on thread count");
+    assert_eq!(trace1, trace4, "trace exposition depends on thread count");
+    assert_eq!(
+        metrics1, metrics4,
+        "metrics exposition depends on thread count"
+    );
+}
+
+#[test]
+fn cluster_expositions_are_thread_invariant_under_chaos() {
+    let (table1, trace1, metrics1) = cluster_run("1", Some(RECOVERABLE), "c1");
+    let (table4, trace4, metrics4) = cluster_run("4", Some(RECOVERABLE), "c4");
+    assert_eq!(table1, table4, "chaos table depends on thread count");
+    assert_eq!(trace1, trace4, "chaos trace depends on thread count");
+    assert_eq!(metrics1, metrics4, "chaos metrics depend on thread count");
+    // Recoverable chaos must leave the table identical to the quiet run
+    // — that is the supervisor's whole contract.
+    let (quiet_table, _, quiet_metrics) = cluster_run("1", None, "q1");
+    assert_eq!(table1, quiet_table, "recoverable chaos changed the table");
+    // But it must have actually fired: the runtime metrics record the
+    // injected faults, so the expositions legitimately differ.
+    assert_ne!(
+        metrics1, quiet_metrics,
+        "the chaos plan never fired, the invariance check is vacuous"
+    );
+}

@@ -1,0 +1,184 @@
+//! Deriving telemetry expositions from a [`ClusterReport`].
+//!
+//! The engine's report is the single source of truth; the tracer and
+//! metrics views are pure functions of it. Because the report itself is
+//! bit-identical across thread budgets, so is every exposition derived
+//! here — the property `tests/cluster_telemetry.rs` pins.
+
+use crate::engine::ClusterReport;
+use resilience_telemetry::{Event, MetricsRegistry, Tracer};
+
+/// Convert load units to the integer milli-units the trace schema
+/// carries (the streamed JSON writer is integer-only by design).
+fn milli(x: f64) -> u64 {
+    (x * 1000.0).round().max(0.0) as u64
+}
+
+/// Record a run's cascade history plus recovery/burn summaries into a
+/// tracer lane. Events land on the ticks they happened on; the run-level
+/// summaries land on the final tick.
+pub fn record_cluster_events(tracer: &mut Tracer, report: &ClusterReport) {
+    for record in &report.cascades {
+        tracer.record(
+            record.tick,
+            Event::ClusterCascade {
+                trigger: record.stats.trigger,
+                toppled: record.stats.toppled,
+                waves: record.stats.waves,
+                shed_milli: milli(record.stats.shed_load),
+            },
+        );
+    }
+    tracer.record(
+        report.ticks,
+        Event::ClusterRecovery {
+            revived: report.recovered,
+            lost: report.lost,
+        },
+    );
+    if report.burns > 0 {
+        tracer.record(
+            report.ticks,
+            Event::ClusterBurn {
+                burns: report.burns,
+                nodes: report.burned_nodes,
+                relieved_milli: milli(report.burn_relieved),
+            },
+        );
+    }
+}
+
+/// Histogram bounds for cascade sizes (powers of two — cascade-size
+/// distributions are judged on their tail).
+pub const CASCADE_SIZE_BOUNDS: [f64; 9] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// Record a run's aggregate counters, gauges, and the cascade-size
+/// histogram. Calling this for several reports accumulates counters and
+/// histograms; gauges keep the last run's value.
+pub fn record_cluster_metrics(registry: &mut MetricsRegistry, report: &ClusterReport) {
+    registry.inc_counter(
+        "cluster_cascades_total",
+        "Cascades with at least one death",
+        report.cascades.len() as u64,
+    );
+    registry.inc_counter(
+        "cluster_toppled_total",
+        "Nodes toppled by overload during cascades",
+        report.total_toppled(),
+    );
+    registry.inc_counter(
+        "cluster_exo_kills_total",
+        "Nodes killed by the chaos fault plan",
+        report.exo_kills,
+    );
+    registry.inc_counter(
+        "cluster_attack_kills_total",
+        "Nodes removed by attacks",
+        report.attack_kills,
+    );
+    registry.inc_counter(
+        "cluster_recovered_total",
+        "Nodes revived by the MAPE-K supervisor",
+        report.recovered,
+    );
+    registry.inc_counter(
+        "cluster_lost_total",
+        "Nodes dead for good (budget exhausted or condemned)",
+        report.lost,
+    );
+    registry.inc_counter(
+        "cluster_burns_total",
+        "Prescribed-burn firings",
+        report.burns,
+    );
+    registry.inc_counter(
+        "cluster_burned_nodes_total",
+        "Nodes relieved by prescribed burns",
+        report.burned_nodes,
+    );
+    registry.set_gauge(
+        "cluster_nodes",
+        "Fleet size of the last recorded run",
+        report.n as f64,
+    );
+    registry.set_gauge(
+        "cluster_final_giant_fraction",
+        "Giant-component fraction at the end of the last recorded run",
+        if report.n == 0 {
+            0.0
+        } else {
+            report.final_giant as f64 / report.n as f64
+        },
+    );
+    registry.set_gauge(
+        "cluster_resilience_loss",
+        "Bruneau R of the last recorded run",
+        report.resilience_loss(),
+    );
+    for size in report.cascade_sizes() {
+        registry.observe(
+            "cluster_cascade_size",
+            "Nodes lost per cascade (trigger + toppled)",
+            &CASCADE_SIZE_BOUNDS,
+            size as f64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{AttackSpec, ClusterConfig, ClusterEngine};
+    use crate::topology::TopologyKind;
+    use resilience_core::FaultPlan;
+    use resilience_networks::AttackStrategy;
+
+    fn sample_report() -> ClusterReport {
+        let mut config = ClusterConfig::new(300, TopologyKind::ScaleFree { m: 3 });
+        config.ticks = 25;
+        let engine = ClusterEngine::new(config, 7);
+        let attack = AttackSpec {
+            tick: 5,
+            strategy: AttackStrategy::TargetedByDegree,
+            fraction: 0.1,
+            recoverable: true,
+        };
+        engine.run(3, Some(&attack), &FaultPlan::none())
+    }
+
+    #[test]
+    fn events_mirror_the_report() {
+        let report = sample_report();
+        let mut tracer = Tracer::new();
+        record_cluster_events(&mut tracer, &report);
+        // One event per cascade + the recovery summary (+ burn if any).
+        let expected = report.cascades.len() + 1 + usize::from(report.burns > 0);
+        assert_eq!(tracer.len(), expected);
+        let json = tracer.to_json();
+        assert!(json.contains("ClusterCascade"));
+        assert!(json.contains("ClusterRecovery"));
+    }
+
+    #[test]
+    fn metrics_accumulate_and_expose() {
+        let report = sample_report();
+        let mut registry = MetricsRegistry::new();
+        record_cluster_metrics(&mut registry, &report);
+        record_cluster_metrics(&mut registry, &report);
+        let prom = registry.to_prometheus();
+        assert!(prom.contains("cluster_cascades_total"));
+        assert!(prom.contains("cluster_resilience_loss"));
+        assert!(prom.contains("cluster_cascade_size"));
+        // Counters doubled by the second recording.
+        let line = prom
+            .lines()
+            .find(|l| l.starts_with("cluster_attack_kills_total "))
+            .expect("attack kills counter exposed");
+        let value: f64 = line
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .expect("counter value parses");
+        assert_eq!(value, 2.0 * report.attack_kills as f64);
+    }
+}

@@ -47,6 +47,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod belief;
+pub mod bitwords;
 pub mod cost;
 pub mod maintainability;
 pub mod problem;
@@ -58,6 +59,7 @@ pub mod telemetry;
 pub mod tiger_team;
 
 pub use belief::BeliefState;
+pub use bitwords::BitWords;
 pub use cost::{CostConstraint, CostFunction, WeightedClauses, WeightedMismatch};
 pub use maintainability::{
     analyze_bit_dcsp, analyze_bit_dcsp_adversarial, MaintainabilityReport, MaintenancePolicy,

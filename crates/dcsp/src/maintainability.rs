@@ -40,6 +40,7 @@
 use std::collections::VecDeque;
 use std::sync::OnceLock;
 
+use crate::bitwords::BitWords;
 use resilience_core::{Config, Constraint};
 
 /// "Unreachable / unbounded" sentinel for adversarial values. Kept well
@@ -145,18 +146,6 @@ impl Csr {
             exo: EdgeList::forward(exogenous),
         }
     }
-}
-
-fn set_bit(bits: &mut [u64], i: usize) {
-    bits[i / 64] |= 1 << (i % 64);
-}
-
-fn clear_bit(bits: &mut [u64], i: usize) {
-    bits[i / 64] &= !(1 << (i % 64));
-}
-
-fn get_bit(bits: &[u64], i: usize) -> bool {
-    bits[i / 64] >> (i % 64) & 1 == 1
 }
 
 /// Split `out` into `threads` contiguous chunks and fill each on its own
@@ -276,40 +265,34 @@ impl MaintainabilityReport {
 /// word-packed bitset frontiers. Returns raw `u32` levels (`UNSET` =
 /// unreachable).
 fn bfs_levels(n_states: usize, normal: &[bool], rev: &EdgeList) -> Vec<u32> {
-    let words = n_states.div_ceil(64);
     let mut levels = vec![UNSET; n_states];
-    let mut frontier = vec![0u64; words];
-    let mut next = vec![0u64; words];
+    let mut frontier = BitWords::new(n_states);
+    let mut next = BitWords::new(n_states);
     for (s, &is_normal) in normal.iter().enumerate() {
         if is_normal {
             levels[s] = 0;
-            set_bit(&mut frontier, s);
+            frontier.set(s);
         }
     }
     let mut depth: u32 = 0;
     loop {
         let mut any = false;
-        for (w, &word) in frontier.iter().enumerate() {
-            let mut word = word;
-            while word != 0 {
-                let s = w * 64 + word.trailing_zeros() as usize;
-                word &= word - 1;
-                for &p in rev.neighbors(s) {
-                    let p = p as usize;
-                    if levels[p] == UNSET {
-                        levels[p] = depth + 1;
-                        set_bit(&mut next, p);
-                        any = true;
-                    }
+        frontier.for_each_one(|s| {
+            for &p in rev.neighbors(s) {
+                let p = p as usize;
+                if levels[p] == UNSET {
+                    levels[p] = depth + 1;
+                    next.set(p);
+                    any = true;
                 }
             }
-        }
+        });
         if !any {
             break;
         }
         depth += 1;
         std::mem::swap(&mut frontier, &mut next);
-        next.fill(0);
+        next.clear_all();
     }
     levels
 }
@@ -469,8 +452,7 @@ impl TransitionSystem {
         // flip. Dedup via a bitset reset per source through the `touched`
         // list; discovery order (frontier order × bit order) is unchanged,
         // so the edge lists are identical to a naive linear-scan dedup.
-        let words = n_states.div_ceil(64);
-        let mut seen = vec![0u64; words];
+        let mut seen = BitWords::new(n_states);
         let mut touched: Vec<usize> = Vec::new();
         let mut frontier: Vec<usize> = Vec::new();
         let mut next: Vec<usize> = Vec::new();
@@ -480,15 +462,15 @@ impl TransitionSystem {
             }
             frontier.clear();
             frontier.push(s);
-            set_bit(&mut seen, s);
+            seen.set(s);
             touched.push(s);
             for _ in 0..max_damage {
                 next.clear();
                 for &f in &frontier {
                     for b in 0..n_bits {
                         let t = f ^ (1 << b);
-                        if !get_bit(&seen, t) {
-                            set_bit(&mut seen, t);
+                        if !seen.get(t) {
+                            seen.set(t);
                             touched.push(t);
                             next.push(t);
                             ts.add_exogenous(s, t);
@@ -498,7 +480,7 @@ impl TransitionSystem {
                 std::mem::swap(&mut frontier, &mut next);
             }
             for &t in &touched {
-                clear_bit(&mut seen, t);
+                seen.clear(t);
             }
             touched.clear();
         }
@@ -676,14 +658,14 @@ impl TransitionSystem {
 }
 
 /// Evaluate `env` on every state of an `n`-bit space into a bitset.
-fn normal_bitset(n_bits: usize, env: &dyn Constraint) -> Vec<u64> {
+fn normal_bitset(n_bits: usize, env: &dyn Constraint) -> BitWords {
     let n_states = 1usize << n_bits;
-    let mut normal = vec![0u64; n_states.div_ceil(64)];
+    let mut normal = BitWords::new(n_states);
     let mut probe = Config::zeros(n_bits);
     for s in 0..n_states {
         probe.set_from_u64(s as u64);
         if env.is_fit(&probe) {
-            set_bit(&mut normal, s);
+            normal.set(s);
         }
     }
     normal
@@ -705,47 +687,36 @@ fn normal_bitset(n_bits: usize, env: &dyn Constraint) -> Vec<u64> {
 pub fn analyze_bit_dcsp(n_bits: usize, env: &dyn Constraint) -> MaintainabilityReport {
     assert!(n_bits <= 24, "implicit construction limited to 24 bits");
     let n_states = 1usize << n_bits;
-    let words = n_states.div_ceil(64);
     let normal = normal_bitset(n_bits, env);
     let mut levels = vec![UNSET; n_states];
     let mut frontier = normal.clone();
-    let mut next = vec![0u64; words];
-    for (w, &word) in normal.iter().enumerate() {
-        let mut word = word;
-        while word != 0 {
-            let s = w * 64 + word.trailing_zeros() as usize;
-            word &= word - 1;
-            levels[s] = 0;
-        }
-    }
+    let mut next = BitWords::new(n_states);
+    normal.for_each_one(|s| {
+        levels[s] = 0;
+    });
     let mut depth: u32 = 0;
     loop {
         let mut any = false;
-        for (w, &word) in frontier.iter().enumerate() {
-            let mut word = word;
-            while word != 0 {
-                let s = w * 64 + word.trailing_zeros() as usize;
-                word &= word - 1;
-                for b in 0..n_bits {
-                    let p = s ^ (1 << b);
-                    if levels[p] == UNSET {
-                        levels[p] = depth + 1;
-                        set_bit(&mut next, p);
-                        any = true;
-                    }
+        frontier.for_each_one(|s| {
+            for b in 0..n_bits {
+                let p = s ^ (1 << b);
+                if levels[p] == UNSET {
+                    levels[p] = depth + 1;
+                    next.set(p);
+                    any = true;
                 }
             }
-        }
+        });
         if !any {
             break;
         }
         depth += 1;
         std::mem::swap(&mut frontier, &mut next);
-        next.fill(0);
+        next.clear_all();
     }
     let mut action = vec![None; n_states];
     for (s, slot) in action.iter_mut().enumerate() {
-        if get_bit(&normal, s) || levels[s] == UNSET {
+        if normal.get(s) || levels[s] == UNSET {
             continue;
         }
         let l = levels[s];
@@ -791,7 +762,7 @@ pub fn analyze_bit_dcsp_adversarial(
         .collect();
     let mut v = vec![INF; n_states];
     for (s, value) in v.iter_mut().enumerate() {
-        if get_bit(&normal, s) {
+        if normal.get(s) {
             *value = 0;
         }
     }
@@ -801,7 +772,7 @@ pub fn analyze_bit_dcsp_adversarial(
         run_chunks(worst, threads, |start, chunk| {
             for (i, slot) in chunk.iter_mut().enumerate() {
                 let t = start + i;
-                *slot = if get_bit(&normal, t) {
+                *slot = if normal.get(t) {
                     // v[t] = 0; the environment picks the worst state in
                     // the damage ball around t.
                     let mut w = 0;
@@ -822,7 +793,7 @@ pub fn analyze_bit_dcsp_adversarial(
             run_chunks(&mut v_next, threads, |start, chunk| {
                 for (i, slot) in chunk.iter_mut().enumerate() {
                     let s = start + i;
-                    *slot = if get_bit(normal, s) {
+                    *slot = if normal.get(s) {
                         0
                     } else {
                         let mut best = INF;
@@ -847,7 +818,7 @@ pub fn analyze_bit_dcsp_adversarial(
     worst_pass(&v, &mut worst);
     let mut action = vec![None; n_states];
     for (s, slot) in action.iter_mut().enumerate() {
-        if get_bit(&normal, s) || v[s] >= INF {
+        if normal.get(s) || v[s] >= INF {
             continue;
         }
         let target = v[s] - 1;

@@ -149,6 +149,35 @@ pub enum Event {
         /// Damage cases evaluated.
         states: u64,
     },
+    /// A cascade ran to quiescence (cluster layer). Shed load is in
+    /// milli-units so the streamed JSON fast path stays integer-only.
+    ClusterCascade {
+        /// Nodes dead at the trigger (exogenous kills plus surge
+        /// overloads).
+        trigger: u64,
+        /// Nodes toppled by overload during propagation.
+        toppled: u64,
+        /// Propagation waves until quiescence.
+        waves: u32,
+        /// Load dropped from the system, in milli-units.
+        shed_milli: u64,
+    },
+    /// Cross-node recovery summary of a cluster run (cluster layer).
+    ClusterRecovery {
+        /// Nodes revived by the MAPE-K supervisor.
+        revived: u64,
+        /// Nodes dead for good (retry budget exhausted or condemned).
+        lost: u64,
+    },
+    /// Prescribed-burn summary of a cluster run (cluster layer).
+    ClusterBurn {
+        /// Burn firings.
+        burns: u64,
+        /// Nodes relieved across all burns.
+        nodes: u64,
+        /// Excess load removed, in milli-units.
+        relieved_milli: u64,
+    },
 }
 
 /// An [`Event`] stamped with its logical position. The triple
@@ -464,6 +493,42 @@ fn write_event_json(out: &mut String, ev: &TraceEvent) {
             ju64(out, *states);
             out.push_str("}}");
         }
+        Event::ClusterCascade {
+            trigger,
+            toppled,
+            waves,
+            shed_milli,
+        } => {
+            out.push_str("{\"ClusterCascade\":{\"trigger\":");
+            ju64(out, *trigger);
+            out.push_str(",\"toppled\":");
+            ju64(out, *toppled);
+            out.push_str(",\"waves\":");
+            ju64(out, *waves as u64);
+            out.push_str(",\"shed_milli\":");
+            ju64(out, *shed_milli);
+            out.push_str("}}");
+        }
+        Event::ClusterRecovery { revived, lost } => {
+            out.push_str("{\"ClusterRecovery\":{\"revived\":");
+            ju64(out, *revived);
+            out.push_str(",\"lost\":");
+            ju64(out, *lost);
+            out.push_str("}}");
+        }
+        Event::ClusterBurn {
+            burns,
+            nodes,
+            relieved_milli,
+        } => {
+            out.push_str("{\"ClusterBurn\":{\"burns\":");
+            ju64(out, *burns);
+            out.push_str(",\"nodes\":");
+            ju64(out, *nodes);
+            out.push_str(",\"relieved_milli\":");
+            ju64(out, *relieved_milli);
+            out.push_str("}}");
+        }
     }
     out.push('}');
 }
@@ -539,6 +604,21 @@ mod tests {
                 hits: 100,
                 misses: 50,
                 states: 75,
+            },
+            Event::ClusterCascade {
+                trigger: 40,
+                toppled: 17,
+                waves: 3,
+                shed_milli: 12_500,
+            },
+            Event::ClusterRecovery {
+                revived: 30,
+                lost: 4,
+            },
+            Event::ClusterBurn {
+                burns: 5,
+                nodes: 60,
+                relieved_milli: 9_001,
             },
         ]
     }

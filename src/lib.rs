@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub use resilience_agents as agents;
+pub use resilience_cluster as cluster;
 pub use resilience_core as core;
 pub use resilience_dcsp as dcsp;
 pub use resilience_ecology as ecology;

@@ -27,9 +27,32 @@ fn assert_thread_invariant(id: &str) {
 }
 
 /// The experiments this suite covers — must match the registry exactly.
-const ALL_IDS: [&str; 22] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+const ALL_IDS: [&str; 25] = [
+    "e1",
+    "e2",
+    "e3",
+    "e4",
+    "e5",
+    "e6",
+    "e7",
+    "e8",
+    "e9",
+    "e10",
+    "e11",
+    "e12",
+    "e13",
+    "e14",
+    "e15",
+    "e16",
+    "e17",
+    "e18",
+    "e19",
+    "e20",
+    "e21",
+    "e22",
+    "cluster_attack",
+    "cluster_cascade",
+    "cluster_burn",
 ];
 
 #[test]
@@ -79,6 +102,9 @@ thread_invariance_tests! {
     e20_thread_invariant => "e20",
     e21_thread_invariant => "e21",
     e22_thread_invariant => "e22",
+    cluster_attack_thread_invariant => "cluster_attack",
+    cluster_cascade_thread_invariant => "cluster_cascade",
+    cluster_burn_thread_invariant => "cluster_burn",
 }
 
 // ---------------------------------------------------------------------
