@@ -29,11 +29,21 @@
 //! logs are byte-identical across thread budgets (the source of the
 //! checked-in `BENCH_6.json`).
 //!
+//! `bench_smoke dcsp` measures the ceiling-breaking verification paths:
+//! symmetry-orbit recoverability against the retained reference checker
+//! (gated at > 2.8x), and the compressed-frontier maintainability
+//! engines at 2^30 quiet / 2^26 adversarial states — beyond the dense
+//! path's 2^24 cap, inside a 384 MiB word-packed arena. It cross-checks
+//! that the fast paths reproduce the reference/dense reports and that
+//! every summary is bit-identical at one and four threads (the source
+//! of the checked-in `BENCH_7.json`).
+//!
 //! ```bash
 //! cargo run --release -p resilience-bench --bin bench_smoke > BENCH_2.json
 //! cargo run --release -p resilience-bench --bin bench_smoke -- faults > BENCH_3.json
 //! cargo run --release -p resilience-bench --bin bench_smoke -- telemetry > BENCH_5.json
 //! cargo run --release -p resilience-bench --bin bench_smoke -- cluster > BENCH_6.json
+//! cargo run --release -p resilience-bench --bin bench_smoke -- dcsp > BENCH_7.json
 //! ```
 
 // Drivers surface failures as `die(...)` usage errors or documented
@@ -47,10 +57,12 @@ use serde::Serialize;
 
 use resilience_core::{AllOnes, AtLeastOnes, Config, FaultConfig, RunContext, Supervision};
 use resilience_dcsp::maintainability::{
-    analyze_bit_dcsp, analyze_bit_dcsp_adversarial, TransitionSystem,
+    analyze_bit_dcsp, analyze_bit_dcsp_adversarial, analyze_bit_dcsp_adversarial_frontiers,
+    analyze_bit_dcsp_frontiers, TransitionSystem,
 };
 use resilience_dcsp::recoverability::{
-    is_k_recoverable_exhaustive, is_k_recoverable_exhaustive_parallel, recoverability_reference,
+    is_k_recoverable_exhaustive, is_k_recoverable_exhaustive_parallel, is_k_recoverable_symmetric,
+    is_k_recoverable_symmetric_stats, recoverability_reference,
 };
 use resilience_dcsp::repair::GreedyRepair;
 
@@ -63,7 +75,7 @@ struct Recoverability {
     n24_d4_cases: usize,
     n24_d4_threads1_cases_per_sec: f64,
     n24_d4_threads4_cases_per_sec: f64,
-    n24_d4_thread_scaling: f64,
+    n24_d4_thread_scaling: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -74,7 +86,7 @@ struct Maintainability {
     implicit_2pow20_bfs_states_per_sec: f64,
     implicit_2pow20_adversarial_threads1_states_per_sec: f64,
     implicit_2pow20_adversarial_threads4_states_per_sec: f64,
-    implicit_2pow20_adversarial_thread_scaling: f64,
+    implicit_2pow20_adversarial_thread_scaling: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -86,6 +98,40 @@ struct Meta {
     /// `*_thread_scaling` below 1.0 on a 1-core host measures pure
     /// spawn/contention overhead, not an engine defect.
     cores: usize,
+    /// Why `*_thread_scaling` fields are null, when they are.
+    thread_scaling_note: Option<&'static str>,
+}
+
+/// Detected host parallelism (1 when detection fails).
+fn detected_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// `t1/tn` thread-scaling ratio, or `None` on a single-core host where
+/// the ratio would measure spawn/contention overhead rather than
+/// scaling (the `meta.thread_scaling_note` explains the null).
+fn thread_scaling(t1_secs: f64, tn_secs: f64) -> Option<f64> {
+    (detected_cores() > 1).then(|| t1_secs / tn_secs)
+}
+
+/// The shared `meta` block: build profile, repetition count, timing
+/// methodology, and host-honesty fields.
+fn make_meta(reps: usize, timing: &'static str) -> Meta {
+    let cores = detected_cores();
+    Meta {
+        profile: if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+        repetitions: reps,
+        timing,
+        cores,
+        thread_scaling_note: (cores == 1).then_some(
+            "single-core host: thread-scaling ratios suppressed (a 1-core \
+             ratio prices thread spawn/contention, not parallel speedup)",
+        ),
+    }
 }
 
 #[derive(Serialize)]
@@ -198,16 +244,7 @@ fn run_fault_smoke(reps: usize) {
             lost: report.lost.len(),
             health_r: report.resilience_loss(),
         },
-        meta: Meta {
-            profile: if cfg!(debug_assertions) {
-                "debug"
-            } else {
-                "release"
-            },
-            repetitions: reps,
-            timing: "median wall seconds per run",
-            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        },
+        meta: make_meta(reps, "median wall seconds per run"),
     };
     println!(
         "{}",
@@ -360,16 +397,10 @@ fn run_telemetry_smoke(reps: usize) {
             health_r: r,
             attribution: attr1,
         },
-        meta: Meta {
-            profile: if cfg!(debug_assertions) {
-                "debug"
-            } else {
-                "release"
-            },
-            repetitions: reps,
-            timing: "median wall seconds per run; overhead is the median of interleaved per-round ratios",
-            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        },
+        meta: make_meta(
+            reps,
+            "median wall seconds per run; overhead is the median of interleaved per-round ratios",
+        ),
     };
     println!(
         "{}",
@@ -385,7 +416,7 @@ struct ClusterScale {
     hundred_k_trials: u64,
     hundred_k_threads1_secs: f64,
     hundred_k_threads4_secs: f64,
-    hundred_k_thread_scaling: f64,
+    hundred_k_thread_scaling: Option<f64>,
     /// Node-ticks per second of the single-threaded workload.
     hundred_k_node_ticks_per_sec: f64,
     /// Cascade topples summed over the 100k trials (must be non-zero —
@@ -507,7 +538,7 @@ fn run_cluster_smoke(reps: usize) {
             hundred_k_trials: HK_TRIALS,
             hundred_k_threads1_secs: t1_secs,
             hundred_k_threads4_secs: t4_secs,
-            hundred_k_thread_scaling: t1_secs / t4_secs,
+            hundred_k_thread_scaling: thread_scaling(t1_secs, t4_secs),
             hundred_k_node_ticks_per_sec: node_ticks / t1_secs,
             hundred_k_toppled: toppled,
             million_nodes: M_NODES,
@@ -518,16 +549,181 @@ fn run_cluster_smoke(reps: usize) {
             million_run_node_ticks_per_sec: (M_NODES as u64 * M_TICKS) as f64 / m_secs,
             million_final_giant_fraction: m_report.final_giant as f64 / m_report.n as f64,
         },
-        meta: Meta {
-            profile: if cfg!(debug_assertions) {
-                "debug"
-            } else {
-                "release"
-            },
-            repetitions: reps,
-            timing: "median wall seconds per run",
-            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        meta: make_meta(reps, "median wall seconds per run"),
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&smoke).expect("serializes")
+    );
+}
+
+#[derive(Serialize)]
+struct SymmetrySpeed {
+    /// Damage cases covered by the n=24/d=4/k=4 AllOnes instance.
+    n24_d4_cases: usize,
+    /// Orbit representatives actually walked by the symmetric checker —
+    /// one per (per-class damage count) signature.
+    n24_d4_orbit_representatives: u64,
+    reference_secs: f64,
+    reference_cases_per_sec: f64,
+    symmetric_threads1_secs: f64,
+    symmetric_threads4_secs: f64,
+    symmetric_cases_per_sec: f64,
+    /// Reference wall time over symmetric wall time; the acceptance gate
+    /// demands > 2.8 (the memoization ceiling of the exhaustive engine).
+    symmetric_vs_reference_speedup: f64,
+    symmetric_thread_scaling: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct CompressedScale {
+    /// The quiet 2^30 instance: AtLeastOnes(30, 4), five BFS levels.
+    quiet_2pow30_levels: usize,
+    quiet_2pow30_threads1_secs: f64,
+    quiet_2pow30_threads4_secs: f64,
+    quiet_2pow30_states_per_sec: f64,
+    quiet_2pow30_thread_scaling: Option<f64>,
+    /// Bytes of the compressed engine's whole working set at 2^30: three
+    /// word-packed bitsets (frontier ping-pong pair + visited).
+    quiet_2pow30_arena_bytes: u64,
+    /// What the dense path would need per state at 2^24 (its hard cap):
+    /// raw u32 BFS levels + `Vec<Option<usize>>` levels + per-state
+    /// policy action, ~36 bytes/state. The 2^30 arena must fit inside
+    /// this — 64x the states in less memory.
+    dense_2pow24_bytes_estimate: u64,
+    adversarial_2pow26_levels: usize,
+    adversarial_2pow26_threads1_secs: f64,
+    adversarial_2pow26_threads4_secs: f64,
+    adversarial_2pow26_thread_scaling: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct DcspSmoke {
+    symmetry: SymmetrySpeed,
+    compressed: CompressedScale,
+    meta: Meta,
+}
+
+/// `bench_smoke dcsp`: symmetry-reduction and compressed-frontier scale
+/// numbers + equivalence and thread-invariance gates (source of
+/// BENCH_7.json).
+fn run_dcsp_smoke(reps: usize) {
+    let greedy = GreedyRepair::new();
+    let ctx1 = RunContext::with_threads(0, 1);
+    let ctx4 = RunContext::with_threads(0, 4);
+
+    // Gate 1: on the timed instance the symmetric checker reproduces the
+    // exhaustive-parallel and reference reports bit-for-bit, at one and
+    // four threads.
+    let start = Config::ones(24);
+    let env = AllOnes::new(24);
+    let (sym_report, sym_stats) =
+        is_k_recoverable_symmetric_stats(&start, &env, &greedy, 4, 4, &ctx4)
+            .expect("AllOnes declares a symmetry class");
+    let (sym_report1, _) = is_k_recoverable_symmetric_stats(&start, &env, &greedy, 4, 4, &ctx1)
+        .expect("AllOnes declares a symmetry class");
+    let full = is_k_recoverable_exhaustive_parallel(&start, &env, &greedy, 4, 4, &ctx4);
+    let reference = recoverability_reference(&start, &env, &greedy, 4, 4);
+    if sym_report != full || sym_report != reference || sym_report != sym_report1 {
+        eprintln!("FAIL: symmetric recoverability report differs from the reference paths");
+        std::process::exit(1);
+    }
+
+    let ref_secs = median_secs(reps, || {
+        recoverability_reference(&start, &env, &greedy, 4, 4)
+    });
+    let sym1_secs = median_secs(reps, || {
+        is_k_recoverable_symmetric(&start, &env, &greedy, 4, 4, &ctx1)
+    });
+    let sym4_secs = median_secs(reps, || {
+        is_k_recoverable_symmetric(&start, &env, &greedy, 4, 4, &ctx4)
+    });
+    let speedup = ref_secs / sym1_secs;
+    if speedup <= 2.8 {
+        eprintln!(
+            "FAIL: symmetry reduction speedup {speedup:.2}x does not clear the 2.8x \
+             memoization ceiling"
+        );
+        std::process::exit(1);
+    }
+
+    // Gate 2: the compressed engine agrees with the dense path at the
+    // largest size the dense path still reaches comfortably.
+    let env20 = AtLeastOnes::new(20, 13);
+    let dense20 = analyze_bit_dcsp(20, &env20);
+    let comp20 = analyze_bit_dcsp_frontiers(20, &env20, 4);
+    if comp20.frontier_sizes != dense20.frontier_sizes()
+        || comp20.hopeless != dense20.hopeless_states().len() as u64
+    {
+        eprintln!("FAIL: compressed frontiers differ from the dense analysis at 2^20");
+        std::process::exit(1);
+    }
+
+    // The headline run: 2^30 states — 64x beyond the dense cap — in a
+    // three-bitset arena. Timed once per thread budget (a rep is seconds,
+    // and the thread-invariance gate already runs both budgets).
+    const BIG: usize = 30;
+    let env30 = AtLeastOnes::new(BIG, 4);
+    let t0 = Instant::now();
+    let big1 = analyze_bit_dcsp_frontiers(BIG, &env30, 1);
+    let big1_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let big4 = analyze_bit_dcsp_frontiers(BIG, &env30, 4);
+    let big4_secs = t0.elapsed().as_secs_f64();
+    if big1 != big4 {
+        eprintln!("FAIL: 2^30 frontier summary depends on thread count");
+        std::process::exit(1);
+    }
+    let arena_bytes = 3 * (1u64 << (BIG - 6)) * 8;
+    let dense24_bytes = (1u64 << 24) * 36;
+    if arena_bytes > dense24_bytes {
+        eprintln!("FAIL: compressed 2^30 arena exceeds the dense 2^24 footprint");
+        std::process::exit(1);
+    }
+
+    // Adversarial level sets at 2^26 — also beyond the dense cap.
+    let env26 = AtLeastOnes::new(26, 18);
+    let t0 = Instant::now();
+    let adv1 = analyze_bit_dcsp_adversarial_frontiers(26, &env26, 2, 1);
+    let adv1_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let adv4 = analyze_bit_dcsp_adversarial_frontiers(26, &env26, 2, 4);
+    let adv4_secs = t0.elapsed().as_secs_f64();
+    if adv1 != adv4 {
+        eprintln!("FAIL: 2^26 adversarial summary depends on thread count");
+        std::process::exit(1);
+    }
+
+    let cases = sym_report.cases as f64;
+    let smoke = DcspSmoke {
+        symmetry: SymmetrySpeed {
+            n24_d4_cases: sym_report.cases,
+            n24_d4_orbit_representatives: sym_report.cases as u64 - sym_stats.orbit_hits,
+            reference_secs: ref_secs,
+            reference_cases_per_sec: cases / ref_secs,
+            symmetric_threads1_secs: sym1_secs,
+            symmetric_threads4_secs: sym4_secs,
+            symmetric_cases_per_sec: cases / sym1_secs,
+            symmetric_vs_reference_speedup: speedup,
+            symmetric_thread_scaling: thread_scaling(sym1_secs, sym4_secs),
         },
+        compressed: CompressedScale {
+            quiet_2pow30_levels: big1.frontier_sizes.len(),
+            quiet_2pow30_threads1_secs: big1_secs,
+            quiet_2pow30_threads4_secs: big4_secs,
+            quiet_2pow30_states_per_sec: (1u64 << BIG) as f64 / big1_secs,
+            quiet_2pow30_thread_scaling: thread_scaling(big1_secs, big4_secs),
+            quiet_2pow30_arena_bytes: arena_bytes,
+            dense_2pow24_bytes_estimate: dense24_bytes,
+            adversarial_2pow26_levels: adv1.frontier_sizes.len(),
+            adversarial_2pow26_threads1_secs: adv1_secs,
+            adversarial_2pow26_threads4_secs: adv4_secs,
+            adversarial_2pow26_thread_scaling: thread_scaling(adv1_secs, adv4_secs),
+        },
+        meta: make_meta(
+            reps,
+            "median wall seconds per run; the 2^30 and 2^26 rows are single timed runs",
+        ),
     };
     println!(
         "{}",
@@ -548,6 +744,10 @@ fn main() {
         }
         Some("cluster") => {
             run_cluster_smoke(reps);
+            return;
+        }
+        Some("dcsp") => {
+            run_dcsp_smoke(reps);
             return;
         }
         _ => {}
@@ -623,7 +823,7 @@ fn main() {
             n24_d4_cases: serial.cases,
             n24_d4_threads1_cases_per_sec: cases24 / t1_secs,
             n24_d4_threads4_cases_per_sec: cases24 / t4_secs,
-            n24_d4_thread_scaling: t1_secs / t4_secs,
+            n24_d4_thread_scaling: thread_scaling(t1_secs, t4_secs),
         },
         maintainability: Maintainability {
             explicit_2pow12_csr_states_per_sec: 4096.0 / csr_secs,
@@ -632,18 +832,9 @@ fn main() {
             implicit_2pow20_bfs_states_per_sec: states20 / bfs_secs,
             implicit_2pow20_adversarial_threads1_states_per_sec: states20 / adv1_secs,
             implicit_2pow20_adversarial_threads4_states_per_sec: states20 / adv4_secs,
-            implicit_2pow20_adversarial_thread_scaling: adv1_secs / adv4_secs,
+            implicit_2pow20_adversarial_thread_scaling: thread_scaling(adv1_secs, adv4_secs),
         },
-        meta: Meta {
-            profile: if cfg!(debug_assertions) {
-                "debug"
-            } else {
-                "release"
-            },
-            repetitions: reps,
-            timing: "median wall seconds per run",
-            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        },
+        meta: make_meta(reps, "median wall seconds per run"),
     };
     println!(
         "{}",

@@ -2,7 +2,8 @@
 
 use resilience_core::AtLeastOnes;
 use resilience_dcsp::maintainability::{
-    analyze_bit_dcsp, analyze_bit_dcsp_adversarial, TransitionSystem,
+    analyze_bit_dcsp, analyze_bit_dcsp_adversarial, analyze_bit_dcsp_adversarial_frontiers,
+    analyze_bit_dcsp_frontiers, TransitionSystem,
 };
 
 use crate::table::ExperimentTable;
@@ -70,6 +71,29 @@ pub fn run(ctx: &RunContext) -> ExperimentTable {
             format!("{edges} edges (implicit)"),
         ]);
     }
+    // Beyond the dense implicit path's 2^24 cap the per-state level array
+    // itself no longer fits; the compressed-frontier engine streams
+    // word-packed bitset frontiers and keeps only per-depth counts, which
+    // is all this table reports anyway. Equivalence with the dense
+    // analysis is pinned by `tests/symmetry_equivalence.rs`.
+    {
+        let n = 26usize;
+        let need = n - n / 3;
+        let env = AtLeastOnes::new(n, need);
+        let summary = analyze_bit_dcsp_frontiers(n, &env, ctx.threads());
+        let adversarial = analyze_bit_dcsp_adversarial_frontiers(n, &env, 2, ctx.threads());
+        let states = 1usize << n;
+        let edges = states * n;
+        check_scaling(n as f64, &mut prev_per_state, &mut polynomial_scaling);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{states}"),
+            format!("{:?}", summary.min_k()),
+            format!("{:?}", adversarial.min_k()),
+            format!("{}", summary.hopeless),
+            format!("{edges} edges (compressed)"),
+        ]);
+    }
     ExperimentTable {
         perf: None,
         id: "E3".into(),
@@ -90,14 +114,15 @@ pub fn run(ctx: &RunContext) -> ExperimentTable {
         finding: format!(
             "backward-BFS policy construction succeeds on every instance with \
              zero hopeless states; min k equals the deepest repair distance; \
-             per-state edge count stays near-linear as the space grows 16384× \
-             to 2^20 states — the last three rows never materialize the \
-             transition system, generating bit-flip moves on the fly \
-             (polynomial scaling: {polynomial_scaling}); the adversarial \
-             variant reports None as expected — an environment allowed a \
-             2-bit counter-move after every 1-bit repair can keep the system \
-             unfit forever, the paper's §4.3 motivation for reasoning under \
-             uncertainty instead of worst-case model checking"
+             per-state edge count stays near-linear as the space grows \
+             1048576× to 2^26 states — the implicit rows never materialize \
+             the transition system, generating bit-flip moves on the fly, and \
+             the 2^26 row streams word-packed compressed frontiers instead of \
+             per-state levels (polynomial scaling: {polynomial_scaling}); the \
+             adversarial variant reports None as expected — an environment \
+             allowed a 2-bit counter-move after every 1-bit repair can keep \
+             the system unfit forever, the paper's §4.3 motivation for \
+             reasoning under uncertainty instead of worst-case model checking"
         ),
     }
 }
@@ -108,7 +133,7 @@ mod tests {
     #[test]
     fn runs() {
         let t = super::run(&RunContext::new(0));
-        assert_eq!(t.rows.len(), 8);
+        assert_eq!(t.rows.len(), 9);
         // No hopeless states in any row.
         for row in &t.rows {
             assert_eq!(row[4], "0");
@@ -120,5 +145,11 @@ mod tests {
         assert_eq!(row20[0], "20");
         assert_eq!(row20[2], format!("{:?}", Some(20 - 20 / 3)));
         assert_eq!(row20[3], "None");
+        // The compressed row continues the pattern past the dense cap.
+        let row26 = &t.rows[8];
+        assert_eq!(row26[0], "26");
+        assert_eq!(row26[2], format!("{:?}", Some(26 - 26 / 3)));
+        assert_eq!(row26[3], "None");
+        assert!(row26[5].contains("compressed"));
     }
 }

@@ -41,6 +41,22 @@ pub trait Constraint: Send + Sync {
         None
     }
 
+    /// Declared variable automorphisms: a partition of the variable
+    /// indices into *interchangeability classes* such that every
+    /// permutation of variables within a class preserves fitness (and
+    /// violation degree) for every configuration. `Some(classes)` maps
+    /// each variable index to its class id; `None` means no symmetry is
+    /// declared (the safe default — verifiers then enumerate every case).
+    ///
+    /// This is a contract like [`Constraint::violation`]: implementations
+    /// must only declare permutations that genuinely fix the fit set.
+    /// Counting constraints whose fitness depends solely on the number of
+    /// ones ([`AllOnes`], [`AtLeastOnes`]) declare one class covering all
+    /// variables; structured sets keep the default.
+    fn symmetry_classes(&self) -> Option<Vec<usize>> {
+        None
+    }
+
     /// Short human-readable description, used in reports.
     fn describe(&self) -> String {
         "unnamed constraint".to_string()
@@ -101,6 +117,12 @@ impl Constraint for AllOnes {
         Some(self.len)
     }
 
+    fn symmetry_classes(&self) -> Option<Vec<usize>> {
+        // Fitness depends only on the count of ones: every variable
+        // permutation is an automorphism.
+        Some(vec![0; self.len])
+    }
+
     fn describe(&self) -> String {
         format!("all {} components good (C = 1^n)", self.len)
     }
@@ -145,6 +167,12 @@ impl Constraint for AtLeastOnes {
 
     fn arity(&self) -> Option<usize> {
         Some(self.len)
+    }
+
+    fn symmetry_classes(&self) -> Option<Vec<usize>> {
+        // Fitness depends only on the count of ones: every variable
+        // permutation is an automorphism.
+        Some(vec![0; self.len])
     }
 
     fn describe(&self) -> String {
@@ -447,6 +475,34 @@ mod tests {
         assert!(both.describe().contains("AND"));
         assert!(either.describe().contains("OR"));
         assert!(neither.describe().contains("NOT"));
+    }
+
+    #[test]
+    fn symmetry_declarations_match_structure() {
+        // Counting constraints: one class over every variable.
+        assert_eq!(AllOnes::new(5).symmetry_classes(), Some(vec![0; 5]));
+        assert_eq!(AtLeastOnes::new(6, 2).symmetry_classes(), Some(vec![0; 6]));
+        // Structured sets declare nothing.
+        let set: ExplicitSet = ["101".parse().unwrap()].into_iter().collect();
+        assert_eq!(set.symmetry_classes(), None);
+        let pred = PredicateConstraint::new("bit0", |c: &Config| c.get(0));
+        assert_eq!(pred.symmetry_classes(), None);
+        // Declared classes really are automorphisms: swapping any two
+        // variables of a counting constraint never changes fitness.
+        let c = AtLeastOnes::new(6, 3);
+        let mut rng = seeded_rng(41);
+        for _ in 0..50 {
+            let cfg = Config::random(6, &mut rng);
+            for i in 0..6 {
+                for j in i + 1..6 {
+                    let mut swapped = cfg.clone();
+                    let (bi, bj) = (cfg.get(i), cfg.get(j));
+                    swapped.assign(i, bj);
+                    swapped.assign(j, bi);
+                    assert_eq!(c.is_fit(&cfg), c.is_fit(&swapped));
+                }
+            }
+        }
     }
 
     #[test]

@@ -50,6 +50,17 @@ pub enum CoreError {
     /// (redundancy, diversity, adaptability), but was handed an active
     /// strategy.
     ActiveStrategyUnsupported,
+    /// A state-space construction would exceed the addressable (or
+    /// budgeted) number of states for the chosen representation — e.g.
+    /// the dense per-state level array of the implicit maintainability
+    /// checker. Callers should route oversized instances to a compressed
+    /// representation instead.
+    StateSpaceTooLarge {
+        /// Requested state-space width in bits (`2^n_bits` states).
+        n_bits: usize,
+        /// Largest width the representation supports.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -77,6 +88,13 @@ impl fmt::Display for CoreError {
                     f,
                     "operation covers the passive strategy axes only \
                      (redundancy, diversity, adaptability)"
+                )
+            }
+            CoreError::StateSpaceTooLarge { n_bits, limit } => {
+                write!(
+                    f,
+                    "state space 2^{n_bits} exceeds the dense representation \
+                     limit of 2^{limit} states; use the compressed-frontier path"
                 )
             }
         }
@@ -122,6 +140,12 @@ mod tests {
         assert!(CoreError::ActiveStrategyUnsupported
             .to_string()
             .contains("passive"));
+        let err = CoreError::StateSpaceTooLarge {
+            n_bits: 30,
+            limit: 24,
+        };
+        assert!(err.to_string().contains("2^30"));
+        assert!(err.to_string().contains("2^24"));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod recoverability;
 pub mod repair;
 pub mod scenario;
 pub mod spacecraft;
+pub mod symmetry;
 pub mod telemetry;
 pub mod tiger_team;
 
@@ -62,17 +63,21 @@ pub use belief::BeliefState;
 pub use bitwords::BitWords;
 pub use cost::{CostConstraint, CostFunction, WeightedClauses, WeightedMismatch};
 pub use maintainability::{
-    analyze_bit_dcsp, analyze_bit_dcsp_adversarial, MaintainabilityReport, MaintenancePolicy,
+    analyze_bit_dcsp, analyze_bit_dcsp_adversarial, analyze_bit_dcsp_adversarial_frontiers,
+    analyze_bit_dcsp_auto, analyze_bit_dcsp_frontiers, try_analyze_bit_dcsp,
+    try_analyze_bit_dcsp_adversarial, FrontierSummary, MaintainabilityReport, MaintenancePolicy,
     TransitionSystem,
 };
 pub use problem::{DcspSystem, EpisodeRecord};
 pub use recoverability::{
-    is_k_recoverable_exhaustive, is_k_recoverable_exhaustive_parallel,
+    is_k_recoverable_auto, is_k_recoverable_exhaustive, is_k_recoverable_exhaustive_parallel,
     is_k_recoverable_exhaustive_parallel_stats, is_k_recoverable_exhaustive_stats,
-    recoverability_reference, sampled_recoverability, RecoverabilityReport, VerifyStats,
+    is_k_recoverable_symmetric, is_k_recoverable_symmetric_stats, recoverability_reference,
+    sampled_recoverability, RecoverabilityReport, VerifyStats,
 };
 pub use repair::{AnnealRepair, BfsRepair, GreedyRepair, RepairOutcome, RepairStrategy};
 pub use scenario::{Scenario, ScenarioReport, ScenarioStep};
 pub use spacecraft::{MissionLog, Spacecraft};
-pub use telemetry::{record_maintainability, record_verification};
+pub use symmetry::{DamageOrbit, SymmetryClasses};
+pub use telemetry::{record_frontier_summary, record_maintainability, record_verification};
 pub use tiger_team::{random_testing, AttackReport, TigerTeam};

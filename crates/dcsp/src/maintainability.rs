@@ -29,7 +29,16 @@
 //! ([`TransitionSystem::from_bit_dcsp`]) materializes all `2^n` states and
 //! is capped at 20 bits; the *implicit* checkers [`analyze_bit_dcsp`] and
 //! [`analyze_bit_dcsp_adversarial`] generate single-bit-flip moves on the
-//! fly and scale past `2^20` states while producing byte-identical reports.
+//! fly and scale past `2^20` states while producing byte-identical
+//! reports. The implicit dense paths cap at 24 bits (typed
+//! [`CoreError::StateSpaceTooLarge`] via the `try_` variants); beyond
+//! that, the *compressed-frontier* engines
+//! ([`analyze_bit_dcsp_frontiers`],
+//! [`analyze_bit_dcsp_adversarial_frontiers`]) trade the per-state level
+//! array and policy for word-packed frontier bitsets and streamed
+//! per-depth counts ([`FrontierSummary`]), reaching `2^30` states in less
+//! memory than the dense `2^24` run; [`analyze_bit_dcsp_auto`] routes by
+//! size.
 //!
 //! Policy tie-breaking is canonical in every analysis path: among the
 //! controllable successors achieving the optimal value, the one inserted
@@ -40,8 +49,8 @@
 use std::collections::VecDeque;
 use std::sync::OnceLock;
 
-use crate::bitwords::BitWords;
-use resilience_core::{Config, Constraint};
+use crate::bitwords::{count_words, xor_shifted_word, BitWords};
+use resilience_core::{Config, Constraint, CoreError};
 
 /// "Unreachable / unbounded" sentinel for adversarial values. Kept well
 /// below `usize::MAX` so `best + 1` cannot overflow.
@@ -152,9 +161,9 @@ impl Csr {
 /// thread. Chunk boundaries cannot affect the result — every element is a
 /// pure function of its index and shared read-only state — so the output
 /// is identical for any thread count.
-fn run_chunks<F>(out: &mut [usize], threads: usize, fill: F)
+fn run_chunks<T: Send, F>(out: &mut [T], threads: usize, fill: F)
 where
-    F: Fn(usize, &mut [usize]) + Sync,
+    F: Fn(usize, &mut [T]) + Sync,
 {
     if out.is_empty() {
         return;
@@ -671,6 +680,12 @@ fn normal_bitset(n_bits: usize, env: &dyn Constraint) -> BitWords {
     normal
 }
 
+/// Largest `n_bits` the dense implicit analyses accept: beyond `2^24`
+/// states the per-state level and policy arrays dominate memory (the
+/// compressed [`analyze_bit_dcsp_frontiers`] path reaches `2^30` in less
+/// space than the dense `2^24` run).
+const DENSE_BIT_LIMIT: usize = 24;
+
 /// K-maintainability of an `n`-bit DCSP without materializing the
 /// transition system: states are configurations, controllable moves are
 /// single-bit flips (involutions, so the backward BFS walks forward
@@ -682,10 +697,36 @@ fn normal_bitset(n_bits: usize, env: &dyn Constraint) -> BitWords {
 ///
 /// # Panics
 ///
-/// Panics if `n_bits > 24` (the level array for `2^24` states already
-/// costs ~256 MiB).
+/// Panics if `n_bits > 24` (the per-state level and policy arrays for
+/// `2^24` states already cost hundreds of MiB). Use
+/// [`try_analyze_bit_dcsp`] for a typed error, or
+/// [`analyze_bit_dcsp_auto`] to route oversized instances through the
+/// compressed-frontier path automatically.
 pub fn analyze_bit_dcsp(n_bits: usize, env: &dyn Constraint) -> MaintainabilityReport {
-    assert!(n_bits <= 24, "implicit construction limited to 24 bits");
+    match try_analyze_bit_dcsp(n_bits, env) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`analyze_bit_dcsp`] with the size cap surfaced as a typed error
+/// ([`CoreError::StateSpaceTooLarge`]) instead of a panic, so callers can
+/// fall back to the compressed path.
+///
+/// # Errors
+///
+/// Returns [`CoreError::StateSpaceTooLarge`] when `n_bits` exceeds the
+/// dense limit of 24 bits.
+pub fn try_analyze_bit_dcsp(
+    n_bits: usize,
+    env: &dyn Constraint,
+) -> Result<MaintainabilityReport, CoreError> {
+    if n_bits > DENSE_BIT_LIMIT {
+        return Err(CoreError::StateSpaceTooLarge {
+            n_bits,
+            limit: DENSE_BIT_LIMIT,
+        });
+    }
     let n_states = 1usize << n_bits;
     let normal = normal_bitset(n_bits, env);
     let mut levels = vec![UNSET; n_states];
@@ -724,13 +765,13 @@ pub fn analyze_bit_dcsp(n_bits: usize, env: &dyn Constraint) -> MaintainabilityR
             .map(|b| s ^ (1 << b))
             .find(|&t| levels[t] + 1 == l);
     }
-    MaintainabilityReport {
+    Ok(MaintainabilityReport {
         levels: levels
             .into_iter()
             .map(|l| (l != UNSET).then_some(l as usize))
             .collect(),
         policy: MaintenancePolicy { action },
-    }
+    })
 }
 
 /// Adversarial K-maintainability of an `n`-bit DCSP with on-the-fly move
@@ -744,14 +785,40 @@ pub fn analyze_bit_dcsp(n_bits: usize, env: &dyn Constraint) -> MaintainabilityR
 ///
 /// # Panics
 ///
-/// Panics if `n_bits > 24`.
+/// Panics if `n_bits > 24`. Use [`try_analyze_bit_dcsp_adversarial`] for
+/// a typed error, or [`analyze_bit_dcsp_adversarial_frontiers`] for the
+/// compressed path.
 pub fn analyze_bit_dcsp_adversarial(
     n_bits: usize,
     env: &dyn Constraint,
     max_damage: usize,
     threads: usize,
 ) -> MaintainabilityReport {
-    assert!(n_bits <= 24, "implicit construction limited to 24 bits");
+    match try_analyze_bit_dcsp_adversarial(n_bits, env, max_damage, threads) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`analyze_bit_dcsp_adversarial`] with the size cap surfaced as a typed
+/// error instead of a panic.
+///
+/// # Errors
+///
+/// Returns [`CoreError::StateSpaceTooLarge`] when `n_bits` exceeds the
+/// dense limit of 24 bits.
+pub fn try_analyze_bit_dcsp_adversarial(
+    n_bits: usize,
+    env: &dyn Constraint,
+    max_damage: usize,
+    threads: usize,
+) -> Result<MaintainabilityReport, CoreError> {
+    if n_bits > DENSE_BIT_LIMIT {
+        return Err(CoreError::StateSpaceTooLarge {
+            n_bits,
+            limit: DENSE_BIT_LIMIT,
+        });
+    }
     let threads = threads.max(1);
     let n_states = 1usize << n_bits;
     let normal = normal_bitset(n_bits, env);
@@ -826,12 +893,317 @@ pub fn analyze_bit_dcsp_adversarial(
             .map(|b| s ^ (1 << b))
             .find(|&t| worst[t] == target);
     }
-    MaintainabilityReport {
+    Ok(MaintainabilityReport {
         levels: v
             .into_iter()
             .map(|x| if x >= INF { None } else { Some(x) })
             .collect(),
         policy: MaintenancePolicy { action },
+    })
+}
+
+/// Compressed-frontier summary of an implicit maintainability analysis:
+/// per-depth frontier sizes and the hopeless-state count, streamed level
+/// by level instead of materialized as a per-state array. This is the
+/// whole observable output of the frontier engines — everything a
+/// [`MaintainabilityReport`] derives about *sizes* (min-k, k-maintainable,
+/// frontier histogram) without the per-state levels and policy whose
+/// storage caps the dense path at `2^24` states.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct FrontierSummary {
+    /// Number of state bits; the space has `2^n_bits` states.
+    pub n_bits: usize,
+    /// `frontier_sizes[d]` = number of states first reached at depth `d`
+    /// (depth 0 = the normal set). Empty when there are no normal states.
+    pub frontier_sizes: Vec<u64>,
+    /// Number of states from which normality is unreachable.
+    pub hopeless: u64,
+}
+
+impl FrontierSummary {
+    /// The smallest `k` such that the system is k-maintainable, or `None`
+    /// if some state can never reach normality. Matches
+    /// [`MaintainabilityReport::min_k`] on the same instance.
+    pub fn min_k(&self) -> Option<usize> {
+        (self.hopeless == 0 && !self.frontier_sizes.is_empty())
+            .then(|| self.frontier_sizes.len() - 1)
+    }
+
+    /// Whether every state reaches a normal state within `k` steps.
+    pub fn is_k_maintainable(&self, k: usize) -> bool {
+        matches!(self.min_k(), Some(m) if m <= k)
+    }
+
+    /// Largest single frontier — the peak working-set size of the search.
+    pub fn frontier_peak(&self) -> u64 {
+        self.frontier_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total number of states in the space.
+    pub fn total_states(&self) -> u64 {
+        1u64 << self.n_bits
+    }
+}
+
+/// Fill `out` (word-packed over `2^n_bits` states, state `s` = bit
+/// `s % 64` of word `s / 64`) with the fitness of every state, chunked
+/// over `threads`.
+///
+/// Fast path: when the constraint declares a single interchangeability
+/// class covering every bit ([`Constraint::symmetry_classes`]), fitness
+/// is a function of the popcount alone, so `n_bits + 1` probes of prefix
+/// configurations build a lookup table and each state costs one hardware
+/// popcount instead of a `Config` round-trip — this is what makes the
+/// `2^30` normal-set construction tractable.
+fn normal_words(n_bits: usize, env: &dyn Constraint, threads: usize, out: &mut [u64]) {
+    let popcount_table = env.symmetry_classes().and_then(|classes| {
+        (classes.len() == n_bits && classes.iter().all(|&c| c == classes[0])).then(|| {
+            let mut probe = Config::zeros(n_bits);
+            let mut table = vec![env.is_fit(&probe)];
+            for b in 0..n_bits {
+                probe.flip(b);
+                table.push(env.is_fit(&probe));
+            }
+            table
+        })
+    });
+    run_chunks(out, threads, |start, chunk| {
+        let mut probe = Config::zeros(n_bits);
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            let base = ((start + i) as u64) << 6;
+            let mut word = 0u64;
+            for bit in 0..64u64 {
+                let s = base | bit;
+                let fit = match &popcount_table {
+                    Some(table) => table[s.count_ones() as usize],
+                    None => {
+                        probe.set_from_u64(s);
+                        env.is_fit(&probe)
+                    }
+                };
+                if fit {
+                    word |= 1 << bit;
+                }
+            }
+            *slot = word;
+        }
+    });
+}
+
+/// K-maintainability frontiers of an `n`-bit DCSP on the compressed
+/// path: three word-packed bitsets (current frontier, next frontier,
+/// visited — `2^n / 8` bytes each, carved from a single arena) replace
+/// the dense per-state level array, and neighbor generation is a
+/// word-level XOR gather — bit `p` of a frontier word maps to bit
+/// `p ^ m` under flip mask `m`, so low flips permute bits inside a word
+/// and high flips re-index words
+/// ([`crate::bitwords::word_xor_permute`]). Each gather advances 64
+/// sibling states per instruction. Levels are streamed into per-depth
+/// counts, never stored per state, which lifts the implicit ceiling from
+/// `2^24` dense states to `2^30` — in less memory than the dense `2^24`
+/// run.
+///
+/// The per-depth counts equal
+/// [`MaintainabilityReport::frontier_sizes`] of the dense path on the
+/// same instance, for any `threads` (chunk boundaries cannot affect a
+/// BFS level: every next-frontier word is a pure function of the current
+/// frontier).
+///
+/// # Panics
+///
+/// Panics unless `6 <= n_bits <= 30` (below 6 bits a state space does
+/// not fill one word; above 30 the bitsets pass 128 MiB each — use the
+/// dense path below and sampling above).
+pub fn analyze_bit_dcsp_frontiers(
+    n_bits: usize,
+    env: &dyn Constraint,
+    threads: usize,
+) -> FrontierSummary {
+    assert!(
+        (6..=30).contains(&n_bits),
+        "compressed frontiers support 6..=30 bits"
+    );
+    let threads = threads.max(1);
+    let n_states = 1usize << n_bits;
+    let words = n_states >> 6;
+    // One arena, three equal buffers: A/B ping-pong as current/next
+    // frontier, the third accumulates visited states.
+    let mut arena = vec![0u64; 3 * words];
+    let (buf_a, rest) = arena.split_at_mut(words);
+    let (buf_b, visited) = rest.split_at_mut(words);
+    normal_words(n_bits, env, threads, visited);
+    buf_a.copy_from_slice(visited);
+    let first = count_words(visited);
+    if first == 0 {
+        return FrontierSummary {
+            n_bits,
+            frontier_sizes: Vec::new(),
+            hopeless: n_states as u64,
+        };
+    }
+    let mut frontier_sizes = vec![first];
+    let mut reached = first;
+    let mut depth = 0usize;
+    loop {
+        let (cur, next) = if depth.is_multiple_of(2) {
+            (&*buf_a, &mut *buf_b)
+        } else {
+            (&*buf_b, &mut *buf_a)
+        };
+        run_chunks(next, threads, |start, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let w = start + i;
+                let mut acc = 0u64;
+                for b in 0..n_bits {
+                    acc |= xor_shifted_word(cur, w, 1usize << b);
+                }
+                *slot = acc & !visited[w];
+            }
+        });
+        let next = if depth.is_multiple_of(2) {
+            &*buf_b
+        } else {
+            &*buf_a
+        };
+        let mut newly = 0u64;
+        for (v, n) in visited.iter_mut().zip(next.iter()) {
+            *v |= *n;
+            newly += n.count_ones() as u64;
+        }
+        if newly == 0 {
+            break;
+        }
+        frontier_sizes.push(newly);
+        reached += newly;
+        depth += 1;
+    }
+    FrontierSummary {
+        n_bits,
+        frontier_sizes,
+        hopeless: n_states as u64 - reached,
+    }
+}
+
+/// Collect every non-zero damage mask of popcount ≤ `max_damage` over
+/// `n_bits` bits (ascending-bit DFS; order is irrelevant downstream —
+/// only intersections over the whole ball are taken).
+fn damage_masks(n_bits: usize, max_damage: usize, from: usize, cur: usize, out: &mut Vec<usize>) {
+    if max_damage == 0 {
+        return;
+    }
+    for b in from..n_bits {
+        let m = cur | (1 << b);
+        out.push(m);
+        damage_masks(n_bits, max_damage - 1, b + 1, m, out);
+    }
+}
+
+/// Adversarial K-maintainability frontiers on the compressed path: the
+/// min-max fixed point of [`analyze_bit_dcsp_adversarial`] computed as
+/// monotone level sets from below instead of per-state value iteration.
+/// With `V_d` = states of adversarial value ≤ `d`:
+///
+/// * `V_0` = the normal set;
+/// * `W_d` (states whose worst-case environment reply stays in `V_d`) =
+///   non-normal members of `V_d`, plus normal states whose whole damage
+///   ball lies in `V_d` — an *erosion* of `V_d` by the mask set;
+/// * `V_{d+1}` = normal ∪ one-flip *dilation* of `W_d`.
+///
+/// Erosion and dilation are word-level XOR gathers, so each level is a
+/// few linear passes over three `2^n / 8`-byte bitsets. The per-depth
+/// counts `|V_d| − |V_{d−1}|` equal the dense adversarial report's
+/// [`MaintainabilityReport::frontier_sizes`], for any `threads`.
+///
+/// # Panics
+///
+/// Panics unless `6 <= n_bits <= 30`.
+pub fn analyze_bit_dcsp_adversarial_frontiers(
+    n_bits: usize,
+    env: &dyn Constraint,
+    max_damage: usize,
+    threads: usize,
+) -> FrontierSummary {
+    assert!(
+        (6..=30).contains(&n_bits),
+        "compressed frontiers support 6..=30 bits"
+    );
+    let threads = threads.max(1);
+    let n_states = 1usize << n_bits;
+    let words = n_states >> 6;
+    let mut masks = Vec::new();
+    damage_masks(n_bits, max_damage, 0, 0, &mut masks);
+    let mut arena = vec![0u64; 3 * words];
+    let (normal, rest) = arena.split_at_mut(words);
+    let (vd, scratch) = rest.split_at_mut(words);
+    normal_words(n_bits, env, threads, normal);
+    vd.copy_from_slice(normal);
+    let first = count_words(vd);
+    if first == 0 {
+        return FrontierSummary {
+            n_bits,
+            frontier_sizes: Vec::new(),
+            hopeless: n_states as u64,
+        };
+    }
+    let mut frontier_sizes = vec![first];
+    let mut reached = first;
+    loop {
+        // W_d into `scratch`: erosion of V_d by the damage ball on the
+        // normal states, V_d itself elsewhere.
+        run_chunks(scratch, threads, |start, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let w = start + i;
+                let mut ero = vd[w];
+                for &m in &masks {
+                    ero &= xor_shifted_word(vd, w, m);
+                }
+                *slot = (vd[w] & !normal[w]) | (normal[w] & ero);
+            }
+        });
+        // V_{d+1} in place: normal ∪ V_d ∪ one-flip dilation of W_d (the
+        // V_d term is index-local, so in-place writes are safe).
+        run_chunks(vd, threads, |start, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                let w = start + i;
+                let mut acc = *slot | normal[w];
+                for b in 0..n_bits {
+                    acc |= xor_shifted_word(scratch, w, 1usize << b);
+                }
+                *slot = acc;
+            }
+        });
+        let total = count_words(vd);
+        let newly = total - reached;
+        if newly == 0 {
+            break;
+        }
+        frontier_sizes.push(newly);
+        reached = total;
+    }
+    FrontierSummary {
+        n_bits,
+        frontier_sizes,
+        hopeless: n_states as u64 - reached,
+    }
+}
+
+/// Route an implicit quiet analysis to the right engine for its size:
+/// dense ([`try_analyze_bit_dcsp`], full report summarized) up to 24
+/// bits, compressed frontiers above. `threads` only affects the
+/// compressed branch; the summary is identical either way on instances
+/// both engines accept.
+pub fn analyze_bit_dcsp_auto(
+    n_bits: usize,
+    env: &dyn Constraint,
+    threads: usize,
+) -> FrontierSummary {
+    match try_analyze_bit_dcsp(n_bits, env) {
+        Ok(report) => FrontierSummary {
+            n_bits,
+            frontier_sizes: report.frontier_sizes(),
+            hopeless: report.hopeless_states().len() as u64,
+        },
+        Err(_) => analyze_bit_dcsp_frontiers(n_bits, env, threads),
     }
 }
 
@@ -839,7 +1211,7 @@ pub fn analyze_bit_dcsp_adversarial(
 mod tests {
     use super::*;
     use rand::Rng;
-    use resilience_core::{seeded_rng, AllOnes, AtLeastOnes};
+    use resilience_core::{seeded_rng, AllOnes, AtLeastOnes, ExplicitSet, PredicateConstraint};
 
     /// A 4-state chain: 3 → 2 → 1 → 0(normal), controllable steps.
     fn chain() -> TransitionSystem {
@@ -1076,9 +1448,111 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "24 bits")]
+    #[should_panic(expected = "2^24")]
     fn implicit_rejects_huge_spaces() {
         let env = AllOnes::new(30);
         let _ = analyze_bit_dcsp(30, &env);
+    }
+
+    #[test]
+    fn oversized_dense_requests_yield_typed_errors() {
+        let env = AllOnes::new(30);
+        let err = try_analyze_bit_dcsp(30, &env).expect_err("over the dense limit");
+        assert!(matches!(
+            err,
+            CoreError::StateSpaceTooLarge {
+                n_bits: 30,
+                limit: 24
+            }
+        ));
+        let msg = err.to_string();
+        assert!(msg.contains("2^30") && msg.contains("2^24"), "{msg}");
+        assert!(try_analyze_bit_dcsp_adversarial(27, &env, 1, 2).is_err());
+        // In-range requests succeed through the fallible entry points.
+        let small = AtLeastOnes::new(8, 5);
+        assert_eq!(
+            try_analyze_bit_dcsp(8, &small).expect("in range"),
+            analyze_bit_dcsp(8, &small)
+        );
+    }
+
+    #[test]
+    fn compressed_frontiers_match_dense_quiet_analysis() {
+        let all = AllOnes::new(10);
+        let atleast = AtLeastOnes::new(10, 6);
+        let envs: [&dyn Constraint; 2] = [&all, &atleast];
+        for env in envs {
+            let dense = analyze_bit_dcsp(10, env);
+            for threads in [1usize, 3, 4] {
+                let summary = analyze_bit_dcsp_frontiers(10, env, threads);
+                assert_eq!(summary.frontier_sizes, dense.frontier_sizes());
+                assert_eq!(summary.hopeless, dense.hopeless_states().len() as u64);
+                assert_eq!(summary.min_k(), dense.min_k(), "threads={threads}");
+                assert_eq!(summary.total_states(), 1 << 10);
+            }
+        }
+        // Single-bit flips reach every state, so hopeless states require
+        // an empty normal set.
+        let never = ExplicitSet::new(Vec::<Config>::new());
+        let summary = analyze_bit_dcsp_frontiers(6, &never, 2);
+        assert_eq!(summary.hopeless, 64);
+        assert_eq!(summary.min_k(), None);
+        assert!(!summary.is_k_maintainable(100));
+        assert_eq!(summary.frontier_peak(), 0);
+    }
+
+    #[test]
+    fn compressed_adversarial_matches_dense_level_histogram() {
+        for (n, need, d) in [(6usize, 4usize, 1usize), (8, 6, 2), (10, 7, 1)] {
+            let env = AtLeastOnes::new(n, need);
+            let dense = analyze_bit_dcsp_adversarial(n, &env, d, 1);
+            let hopeless = dense.hopeless_states().len() as u64;
+            for threads in [1usize, 4] {
+                let summary = analyze_bit_dcsp_adversarial_frontiers(n, &env, d, threads);
+                assert_eq!(
+                    summary.frontier_sizes,
+                    dense.frontier_sizes(),
+                    "n={n} need={need} d={d} threads={threads}"
+                );
+                assert_eq!(summary.hopeless, hopeless);
+                assert_eq!(summary.min_k(), dense.min_k());
+            }
+        }
+        // Hostile case: AllOnes with any damage keeps knocking the system
+        // out of its single normal state; values stay finite because the
+        // environment only strikes normal states and repair outruns a
+        // bounded ball — compare against the dense oracle either way.
+        let env = AllOnes::new(7);
+        let dense = analyze_bit_dcsp_adversarial(7, &env, 2, 1);
+        let summary = analyze_bit_dcsp_adversarial_frontiers(7, &env, 2, 2);
+        assert_eq!(summary.frontier_sizes, dense.frontier_sizes());
+        assert_eq!(summary.hopeless, dense.hopeless_states().len() as u64);
+    }
+
+    #[test]
+    fn auto_routes_by_size() {
+        let env = AtLeastOnes::new(9, 5);
+        let auto = analyze_bit_dcsp_auto(9, &env, 2);
+        let dense = analyze_bit_dcsp(9, &env);
+        assert_eq!(auto.frontier_sizes, dense.frontier_sizes());
+        assert_eq!(auto.hopeless, 0);
+        // The compressed branch agrees with the dense-derived summary.
+        assert_eq!(auto, analyze_bit_dcsp_frontiers(9, &env, 2));
+    }
+
+    #[test]
+    fn popcount_fast_path_matches_generic_probing() {
+        // AtLeastOnes declares full symmetry (popcount table); an
+        // equivalent PredicateConstraint does not, so it takes the
+        // per-state probe path. Same fit set → same normal words.
+        let n = 8;
+        let words = (1usize << n) >> 6;
+        let sym = AtLeastOnes::new(n, 5);
+        let opaque = PredicateConstraint::new("at-least-5", move |c: &Config| c.count_ones() >= 5);
+        let mut a = vec![0u64; words];
+        let mut b = vec![0u64; words];
+        normal_words(n, &sym, 2, &mut a);
+        normal_words(n, &opaque, 2, &mut b);
+        assert_eq!(a, b);
     }
 }

@@ -196,6 +196,36 @@ impl DcspSystem {
         self.tick();
     }
 
+    /// Verify k-recoverability of the *current* state against all damage
+    /// patterns of at most `max_damage` flips, repaired by `strategy`
+    /// within `k` steps, on the fastest sound engine for this
+    /// environment: symmetry-orbit reduction when the constraint declares
+    /// automorphisms the strategy respects
+    /// ([`crate::recoverability::is_k_recoverable_auto`]), the parallel
+    /// exhaustive checker otherwise. Verification is a pure query — the
+    /// clock and state are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is not currently fit (recoverability is
+    /// defined from a fit configuration).
+    pub fn verify_recoverability<S: RepairStrategy + ?Sized>(
+        &self,
+        strategy: &S,
+        max_damage: usize,
+        k: usize,
+        ctx: &resilience_core::RunContext,
+    ) -> crate::recoverability::RecoverabilityReport {
+        crate::recoverability::is_k_recoverable_auto(
+            &self.state,
+            self.env.as_ref(),
+            strategy,
+            max_damage,
+            k,
+            ctx,
+        )
+    }
+
     fn tick(&mut self) {
         self.time += 1;
         self.quality.push(self.quality());
@@ -225,6 +255,24 @@ mod tests {
         assert!(DcspSystem::try_fit_under(Arc::new(AllOnes::new(8)))
             .unwrap()
             .is_fit());
+    }
+
+    #[test]
+    fn system_level_verification_uses_the_auto_router() {
+        let ctx = resilience_core::RunContext::with_threads(0, 2);
+        let sys = DcspSystem::fit_under(Arc::new(AllOnes::new(10)));
+        let report = sys.verify_recoverability(&GreedyRepair::new(), 3, 3, &ctx);
+        assert!(report.is_k_recoverable());
+        assert_eq!(report.cases, 10 + 45 + 120);
+        // Same verdict as the exhaustive engine called directly.
+        let direct = crate::recoverability::is_k_recoverable_exhaustive(
+            sys.state(),
+            sys.environment().as_ref(),
+            &GreedyRepair::new(),
+            3,
+            3,
+        );
+        assert_eq!(report, direct);
     }
 
     #[test]

@@ -20,11 +20,29 @@
 //!   count.
 //! * [`sampled_recoverability`] — Monte-Carlo estimate for systems too
 //!   large to enumerate.
+//! * [`is_k_recoverable_symmetric`] — orbit-reduced verification for
+//!   environments declaring variable automorphisms
+//!   (`Constraint::symmetry_classes`): one repair walk per damage *orbit*
+//!   instead of one per damage pattern, with counts multiplied by orbit
+//!   size. Breaks the Σs·C(n,s)/ΣC(n,s) ceiling of the memoized engine
+//!   because whole orbits cost a single check. Reports (including the
+//!   counterexample, reconstructed as the preorder-minimal member of the
+//!   lowest-ranked failing orbit) are bit-identical to the unreduced
+//!   engine; see `tests/symmetry_equivalence.rs`.
+//! * [`is_k_recoverable_auto`] — routes to the orbit-reduced checker when
+//!   sound, else to the parallel exhaustive engine.
+//!
+//! The exhaustive engine additionally batch-probes leaf-level sibling
+//! damage patterns (which differ from a shared base in exactly their
+//! last flipped bit, so their transposition keys are word XORs of the
+//! base key) 64-at-a-time ahead of the repair walks — cases resolved by
+//! the batch probe never touch a `Config` at all.
 //!
 //! [`recoverability_reference`] retains the original clone-per-case
 //! recursive checker as the oracle the optimized engine is proven
 //! against (see `tests/verification_equivalence.rs`).
 
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -33,6 +51,7 @@ use rand::Rng;
 use resilience_core::{Config, Constraint, RunContext, ShockKind};
 
 use crate::repair::RepairStrategy;
+use crate::symmetry::{preorder_cmp, DamageOrbit, SymmetryClasses};
 
 /// Verdict of a recoverability analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,7 +129,7 @@ pub fn is_k_recoverable_exhaustive<S: RepairStrategy + ?Sized>(
     let n = start.len();
     let counts = SubsetCounts::new(n, max_damage.min(n));
     let total = counts.total_nonempty();
-    let partial = check_rank_range(0..total, start, env, strategy, k, &counts);
+    let partial = check_rank_range(0..total, start, env, strategy, k, &counts, true);
     finalize(k, total, partial)
 }
 
@@ -153,7 +172,7 @@ pub fn is_k_recoverable_exhaustive_parallel<S: RepairStrategy + ?Sized>(
     let partial = ctx.run_ranges(
         total,
         chunk,
-        |r| check_rank_range(r, start, env, strategy, k, &counts),
+        |r| check_rank_range(r, start, env, strategy, k, &counts, true),
         Partial::default(),
         Partial::merge,
     );
@@ -186,7 +205,11 @@ pub fn is_k_recoverable_exhaustive_stats<S: RepairStrategy + ?Sized>(
     let n = start.len();
     let counts = SubsetCounts::new(n, max_damage.min(n));
     let total = counts.total_nonempty();
-    let partial = check_rank_range(0..total, start, env, strategy, k, &counts);
+    // Stats paths run unbatched: batching reorders memo probes (all
+    // sibling probes land before their walks), which can shift hit/miss
+    // counts even though verdicts are order-independent. Keeping the
+    // stats engine unbatched pins the counters the telemetry layer pins.
+    let partial = check_rank_range(0..total, start, env, strategy, k, &counts, false);
     let stats = partial.stats;
     (finalize(k, total, partial), stats)
 }
@@ -232,12 +255,226 @@ pub fn is_k_recoverable_exhaustive_parallel_stats<S: RepairStrategy + ?Sized>(
     let partial = ctx.run_ranges(
         total,
         chunk,
-        |r| check_rank_range(r, start, env, strategy, k, &counts),
+        |r| check_rank_range(r, start, env, strategy, k, &counts, false),
         Partial::default(),
         Partial::merge,
     );
     let stats = partial.stats;
     (finalize(k, total, partial), stats)
+}
+
+/// Orbit-reduced k-recoverability: when `env` declares variable
+/// automorphisms ([`Constraint::symmetry_classes`]) that fix `start`,
+/// damage patterns partition into orbits sharing one verdict, so the
+/// checker walks **one representative per orbit** and multiplies by the
+/// orbit size. For the paper's fully symmetric spacecraft instances the
+/// Σ_s C(n,s) cases collapse to `max_damage` representative walks.
+///
+/// Returns `None` — make no claim, caller falls back to the exhaustive
+/// engine — when the reduction is unsound: no declared symmetry, `start`
+/// not constant on some class, or a strategy that is non-deterministic
+/// or whose step count is not an orbit invariant
+/// ([`RepairStrategy::is_symmetry_invariant`]).
+///
+/// The report is bit-identical to the unreduced engine for any thread
+/// budget: counts and maxima aggregate orbit-wise, and the
+/// counterexample is the preorder-minimal member of the lowest-ranked
+/// failing orbit — exactly the witness the forward-enumerating reference
+/// keeps.
+///
+/// # Panics
+///
+/// Panics if `start` does not satisfy `env`.
+pub fn is_k_recoverable_symmetric<S: RepairStrategy + ?Sized>(
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    max_damage: usize,
+    k: usize,
+    ctx: &RunContext,
+) -> Option<RecoverabilityReport> {
+    symmetric_inner(start, env, strategy, max_damage, k, ctx).map(|(report, _)| report)
+}
+
+/// [`is_k_recoverable_symmetric`] with telemetry: the returned
+/// [`VerifyStats`] counts the representative walks' cache traffic plus
+/// `orbit_hits` — the damage cases settled by orbit multiplication
+/// without a walk of their own. Each orbit is checked in its own rank
+/// range with its own transposition cache, so the stats are a pure
+/// function of the orbit list and bit-identical for any thread budget.
+///
+/// # Panics
+///
+/// Panics if `start` does not satisfy `env`.
+pub fn is_k_recoverable_symmetric_stats<S: RepairStrategy + ?Sized>(
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    max_damage: usize,
+    k: usize,
+    ctx: &RunContext,
+) -> Option<(RecoverabilityReport, VerifyStats)> {
+    symmetric_inner(start, env, strategy, max_damage, k, ctx)
+}
+
+/// Route to the fastest sound checker: orbit-reduced when the constraint
+/// declares symmetry the strategy respects, else the parallel exhaustive
+/// engine. The report is identical either way.
+///
+/// # Panics
+///
+/// Panics if `start` does not satisfy `env`.
+pub fn is_k_recoverable_auto<S: RepairStrategy + ?Sized>(
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    max_damage: usize,
+    k: usize,
+    ctx: &RunContext,
+) -> RecoverabilityReport {
+    match is_k_recoverable_symmetric(start, env, strategy, max_damage, k, ctx) {
+        Some(report) => report,
+        None => is_k_recoverable_exhaustive_parallel(start, env, strategy, max_damage, k, ctx),
+    }
+}
+
+fn symmetric_inner<S: RepairStrategy + ?Sized>(
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    max_damage: usize,
+    k: usize,
+    ctx: &RunContext,
+) -> Option<(RecoverabilityReport, VerifyStats)> {
+    assert!(
+        env.is_fit(start),
+        "k-recoverability is checked from a fit configuration"
+    );
+    if !strategy.is_deterministic() || !strategy.is_symmetry_invariant() {
+        return None;
+    }
+    let classes = SymmetryClasses::detect(env, start)?;
+    let n = start.len();
+    let max_damage = max_damage.min(n);
+    let orbits = classes.damage_orbits(max_damage);
+    // The orbit sizes must partition the unreduced case count exactly —
+    // this is what licenses reporting `cases` without enumerating them.
+    let counts = SubsetCounts::new(n, max_damage);
+    let total = counts.total_nonempty();
+    debug_assert_eq!(orbits.iter().map(|o| o.size).sum::<u64>(), total);
+    // One orbit per rank range: per-orbit caches make the stats a pure
+    // function of the orbit list (thread-invariant), and representative
+    // walks are cheap enough that cross-orbit sharing buys nothing.
+    let partial = ctx.run_ranges(
+        orbits.len() as u64,
+        1,
+        |r| check_orbit_range(r, &orbits, start, env, strategy, k),
+        OrbitPartial::default(),
+        OrbitPartial::merge,
+    );
+    debug_assert_eq!(partial.cases, total);
+    let stats = partial.stats;
+    let report = RecoverabilityReport {
+        k,
+        cases: usize::try_from(total).expect("case count fits usize"),
+        recovered_within_k: usize::try_from(partial.recovered).expect("count fits usize"),
+        worst_steps: partial.worst_steps,
+        counterexample: partial.counterexample,
+    };
+    Some((report, stats))
+}
+
+/// Verify the orbit representatives with indices in `range`.
+fn check_orbit_range<S: RepairStrategy + ?Sized>(
+    range: Range<u64>,
+    orbits: &[DamageOrbit],
+    start: &Config,
+    env: &dyn Constraint,
+    strategy: &S,
+    k: usize,
+) -> OrbitPartial {
+    let mut partial = OrbitPartial::default();
+    if range.is_empty() {
+        return partial;
+    }
+    let mut memo = Memo::for_len(start.len());
+    let mut damaged = start.clone();
+    let mut scratch = start.clone();
+    let mut path: Vec<MemoKey> = Vec::with_capacity(k + 2);
+    for idx in range {
+        let orbit = &orbits[usize::try_from(idx).expect("orbit index fits usize")];
+        for &b in &orbit.representative {
+            damaged.flip(b);
+        }
+        let verdict = eval_case(
+            &damaged,
+            env,
+            strategy,
+            k,
+            &mut memo,
+            &mut scratch,
+            &mut path,
+            &mut partial.stats,
+        );
+        for &b in &orbit.representative {
+            damaged.flip(b);
+        }
+        partial.cases += orbit.size;
+        partial.stats.orbit_hits += orbit.size - 1;
+        match verdict {
+            Some(steps) => {
+                partial.recovered += orbit.size;
+                partial.worst_steps = partial.worst_steps.max(steps);
+            }
+            None => {
+                partial.worst_steps = partial.worst_steps.max(k);
+                partial.counterexample = merge_counterexamples(
+                    partial.counterexample.take(),
+                    Some(orbit.representative.clone()),
+                );
+            }
+        }
+    }
+    partial
+}
+
+/// Keep the preorder-minimal of two candidate counterexamples.
+fn merge_counterexamples(a: Option<Vec<usize>>, b: Option<Vec<usize>>) -> Option<Vec<usize>> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(if preorder_cmp(&a, &b) == Ordering::Greater {
+            b
+        } else {
+            a
+        }),
+        (a, None) => a,
+        (None, b) => b,
+    }
+}
+
+/// Partial report of a contiguous range of damage orbits.
+#[derive(Debug, Default)]
+struct OrbitPartial {
+    cases: u64,
+    recovered: u64,
+    worst_steps: usize,
+    /// Preorder-minimal failing representative in this range, if any.
+    counterexample: Option<Vec<usize>>,
+    stats: VerifyStats,
+}
+
+impl OrbitPartial {
+    /// Fold `next` into `acc`. Orbit enumeration order is not rank
+    /// order, so the counterexample merge compares by subset preorder
+    /// rather than keeping the first — the fold stays associative and
+    /// thread-invariant either way.
+    fn merge(mut acc: OrbitPartial, next: OrbitPartial) -> OrbitPartial {
+        acc.cases += next.cases;
+        acc.recovered += next.recovered;
+        acc.worst_steps = acc.worst_steps.max(next.worst_steps);
+        acc.counterexample = merge_counterexamples(acc.counterexample, next.counterexample);
+        acc.stats = acc.stats.merge(next.stats);
+        acc
+    }
 }
 
 /// The original unmemoized sequential checker, retained verbatim as the
@@ -595,6 +832,10 @@ pub struct VerifyStats {
     /// Distinct states assigned a distance by repair walks (memo
     /// insertions).
     pub states_explored: u64,
+    /// Damage cases settled by orbit multiplication in the
+    /// symmetry-reduced checker — cases counted in the report without a
+    /// repair walk of their own. Zero for the exhaustive engines.
+    pub orbit_hits: u64,
 }
 
 impl VerifyStats {
@@ -603,6 +844,7 @@ impl VerifyStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.states_explored += other.states_explored;
+        self.orbit_hits += other.orbit_hits;
         self
     }
 
@@ -662,6 +904,16 @@ fn finalize(k: usize, total: u64, partial: Partial) -> RecoverabilityReport {
 /// are order-free, and the counterexample kept is the lowest-ranked
 /// failure (the last one seen when iterating backwards), matching the
 /// forward-enumerating reference checker exactly.
+///
+/// With `batched` set (and a word-packed memo, i.e. ≤ 64 variables), runs
+/// of *leaf siblings* — maximum-size patterns sharing every element but
+/// the last, which occupy consecutive descending ranks — are probed
+/// against the cache as a block of single-bit XORs of one shared base
+/// word before any repair walk runs. Probed hits settle without touching
+/// a `Config`; only the misses pay `eval_case`. Batching reorders memo
+/// probes relative to the scalar schedule, which can shift hit/miss
+/// *counters* (never verdicts — cached distances are exact), so the
+/// `_stats` entry points pass `batched = false`.
 fn check_rank_range<S: RepairStrategy + ?Sized>(
     range: Range<u64>,
     start: &Config,
@@ -669,40 +921,77 @@ fn check_rank_range<S: RepairStrategy + ?Sized>(
     strategy: &S,
     k: usize,
     counts: &SubsetCounts,
+    batched: bool,
 ) -> Partial {
     let mut partial = Partial::default();
     if range.is_empty() {
         return partial;
     }
     let mut memo = Memo::for_len(start.len());
+    let batched = batched && matches!(memo, Memo::Table(_) | Memo::Small(_));
     let mut subset: Vec<usize> = Vec::with_capacity(counts.max_size);
     let mut damaged = start.clone();
     let mut scratch = start.clone();
     let mut path: Vec<MemoKey> = Vec::with_capacity(k + 2);
+    let mut probe_buf: Vec<Option<u32>> = Vec::with_capacity(64);
     counts.unrank_into(range.end - 1, &mut subset, &mut damaged);
     let mut rank = range.end - 1;
     loop {
-        match eval_case(
-            &damaged,
-            env,
-            strategy,
-            k,
-            &mut memo,
-            &mut scratch,
-            &mut path,
-            &mut partial.stats,
-        ) {
-            Some(steps) => {
-                partial.recovered += 1;
-                partial.worst_steps = partial.worst_steps.max(steps);
+        if batched && subset.len() == counts.max_size {
+            // Leaf-sibling batch: the current pattern's lower siblings
+            // (same prefix, smaller last element) sit at the next
+            // descending ranks, and all their memo keys are single-bit
+            // XORs of the shared base word. Probe the whole run first.
+            let last = *subset.last().expect("leaf subset is non-empty");
+            let floor = subset.len().checked_sub(2).map_or(0, |i| subset[i] + 1);
+            let lanes = usize::try_from(((last - floor + 1) as u64).min(rank - range.start + 1))
+                .expect("lane count fits usize");
+            let base = damaged.to_u64() ^ (1u64 << last);
+            probe_buf.clear();
+            probe_buf.extend(
+                (0..lanes).map(|i| memo.get(&MemoKey::Packed(base ^ (1u64 << (last - i))))),
+            );
+            for (i, probed) in probe_buf.drain(..).enumerate() {
+                let j = last - i;
+                if i > 0 {
+                    // Step to the next-lower sibling in place.
+                    damaged.flip(j + 1);
+                    damaged.flip(j);
+                    *subset.last_mut().expect("leaf subset is non-empty") = j;
+                }
+                let verdict = match probed {
+                    Some(v) => {
+                        partial.stats.cache_hits += 1;
+                        (v != UNRECOVERABLE).then_some(v as usize)
+                    }
+                    // A stale miss re-probes inside `eval_case`, so a lane
+                    // cached by an earlier lane's walk still hits.
+                    None => eval_case(
+                        &damaged,
+                        env,
+                        strategy,
+                        k,
+                        &mut memo,
+                        &mut scratch,
+                        &mut path,
+                        &mut partial.stats,
+                    ),
+                };
+                record_verdict(&mut partial, verdict, &subset, k);
             }
-            None => {
-                partial.worst_steps = partial.worst_steps.max(k);
-                partial.any_failure = true;
-                // Iterating backwards: the last failure seen is the
-                // lowest-ranked one in the range.
-                partial.counterexample = Some(subset.clone());
-            }
+            rank -= (lanes - 1) as u64;
+        } else {
+            let verdict = eval_case(
+                &damaged,
+                env,
+                strategy,
+                k,
+                &mut memo,
+                &mut scratch,
+                &mut path,
+                &mut partial.stats,
+            );
+            record_verdict(&mut partial, verdict, &subset, k);
         }
         if rank == range.start {
             break;
@@ -711,6 +1000,24 @@ fn check_rank_range<S: RepairStrategy + ?Sized>(
         rank -= 1;
     }
     partial
+}
+
+/// Fold one case's verdict into the running partial report. Cases are
+/// visited highest rank first, so overwriting the counterexample on every
+/// failure leaves the lowest-ranked one — the witness the
+/// forward-enumerating reference keeps.
+fn record_verdict(partial: &mut Partial, verdict: Option<usize>, subset: &[usize], k: usize) {
+    match verdict {
+        Some(steps) => {
+            partial.recovered += 1;
+            partial.worst_steps = partial.worst_steps.max(steps);
+        }
+        None => {
+            partial.worst_steps = partial.worst_steps.max(k);
+            partial.any_failure = true;
+            partial.counterexample = Some(subset.to_vec());
+        }
+    }
 }
 
 /// Repair-walk one damaged configuration through the transposition cache.
@@ -1117,6 +1424,87 @@ mod tests {
                 Some(first) => assert_eq!(stats, *first, "threads={threads}"),
             }
         }
+    }
+
+    #[test]
+    fn symmetric_matches_exhaustive_reports() {
+        let ctx = RunContext::with_threads(0, 2);
+        let n = 9;
+        let start = Config::ones(n);
+        let all = AllOnes::new(n);
+        let atleast = AtLeastOnes::new(n, n - 2);
+        let envs: [&dyn Constraint; 2] = [&all, &atleast];
+        for env in envs {
+            for (d, k) in [(2usize, 1usize), (3, 3), (4, 2)] {
+                let sym = is_k_recoverable_symmetric(&start, env, &GreedyRepair::new(), d, k, &ctx)
+                    .expect("counting constraints declare symmetry");
+                let full = is_k_recoverable_exhaustive(&start, env, &GreedyRepair::new(), d, k);
+                assert_eq!(sym, full, "d={d} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_counterexample_matches_reference() {
+        let ctx = RunContext::with_threads(0, 3);
+        let start = Config::ones(8);
+        let env = AllOnes::new(8);
+        let sym =
+            is_k_recoverable_symmetric(&start, &env, &GreedyRepair::new(), 3, 2, &ctx).unwrap();
+        let reference = recoverability_reference(&start, &env, &GreedyRepair::new(), 3, 2);
+        assert_eq!(sym, reference);
+        // The preorder-minimal member of the failing size-3 orbit is the
+        // prefix {0,1,2} — exactly the reference's first failure.
+        assert_eq!(sym.counterexample.as_deref(), Some(&[0, 1, 2][..]));
+    }
+
+    #[test]
+    fn symmetric_stats_are_thread_invariant_and_count_orbit_hits() {
+        let n = 10;
+        let start = Config::ones(n);
+        let env = AllOnes::new(n);
+        let mut expect: Option<VerifyStats> = None;
+        for threads in [1usize, 2, 4] {
+            let ctx = RunContext::with_threads(0, threads);
+            let (report, stats) =
+                is_k_recoverable_symmetric_stats(&start, &env, &GreedyRepair::new(), 3, 3, &ctx)
+                    .expect("symmetric");
+            assert!(report.is_k_recoverable());
+            assert_eq!(report.cases, 10 + 45 + 120);
+            // Three representative walks; everything else is settled by
+            // orbit multiplication.
+            assert_eq!(stats.orbit_hits, (10 + 45 + 120) - 3);
+            match &expect {
+                None => expect = Some(stats),
+                Some(first) => assert_eq!(stats, *first, "threads={threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn auto_routes_symmetric_and_falls_back() {
+        let ctx = RunContext::with_threads(0, 2);
+        let start = Config::ones(8);
+        let env = AllOnes::new(8);
+        let auto = is_k_recoverable_auto(&start, &env, &GreedyRepair::new(), 3, 3, &ctx);
+        let full = is_k_recoverable_exhaustive(&start, &env, &GreedyRepair::new(), 3, 3);
+        assert_eq!(auto, full);
+        // ExplicitSet declares no symmetry → the symmetric checker makes
+        // no claim and auto falls back to the exhaustive engine.
+        let set: ExplicitSet = ["11111111".parse().unwrap(), "00000000".parse().unwrap()]
+            .into_iter()
+            .collect();
+        assert!(
+            is_k_recoverable_symmetric(&start, &set, &GreedyRepair::new(), 2, 2, &ctx).is_none()
+        );
+        let auto = is_k_recoverable_auto(&start, &set, &GreedyRepair::new(), 2, 2, &ctx);
+        let full = is_k_recoverable_exhaustive(&start, &set, &GreedyRepair::new(), 2, 2);
+        assert_eq!(auto, full);
+        // Anneal is neither deterministic nor symmetry-invariant.
+        assert!(
+            is_k_recoverable_symmetric(&start, &env, &AnnealRepair::new(0.5, 7), 2, 2, &ctx)
+                .is_none()
+        );
     }
 
     #[test]

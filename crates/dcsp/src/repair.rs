@@ -50,6 +50,19 @@ pub trait RepairStrategy: Send + Sync {
     fn is_deterministic(&self) -> bool {
         true
     }
+
+    /// Whether the *length* of this strategy's repair trajectory is
+    /// invariant under constraint automorphisms that fix the start
+    /// configuration — the soundness requirement of orbit-reduced
+    /// verification (one representative's walk stands in for its whole
+    /// orbit). Violation-guided and distance-optimal strategies qualify
+    /// because violation degree and repair distance are
+    /// automorphism-invariant. Defaults to `false`; strategies whose
+    /// step count can depend on variable identity (not just orbit) must
+    /// keep it that way.
+    fn is_symmetry_invariant(&self) -> bool {
+        false
+    }
 }
 
 /// Greedy hill climbing on the violation degree: flips the
@@ -68,6 +81,12 @@ impl GreedyRepair {
 }
 
 impl RepairStrategy for GreedyRepair {
+    /// Greedy descends on the violation degree, which automorphisms
+    /// preserve, so its trajectory *length* is orbit-invariant.
+    fn is_symmetry_invariant(&self) -> bool {
+        true
+    }
+
     fn propose_flip(&self, state: &Config, env: &dyn Constraint) -> Option<usize> {
         let current = env.violation(state);
         let mut best: Option<(usize, f64)> = None;
@@ -140,6 +159,12 @@ impl BfsRepair {
 }
 
 impl RepairStrategy for BfsRepair {
+    /// BFS walks a shortest repair; repair *distance* is preserved by
+    /// constraint automorphisms, so the step count is orbit-invariant.
+    fn is_symmetry_invariant(&self) -> bool {
+        true
+    }
+
     fn propose_flip(&self, state: &Config, env: &dyn Constraint) -> Option<usize> {
         self.shortest_plan(state, env)
             .and_then(|plan| plan.first().copied())
@@ -331,6 +356,15 @@ mod tests {
         // Also through a trait object.
         let anneal: Box<dyn RepairStrategy> = Box::new(AnnealRepair::new(1.0, 0));
         assert!(!anneal.is_deterministic());
+    }
+
+    #[test]
+    fn symmetry_invariance_flags() {
+        assert!(GreedyRepair::new().is_symmetry_invariant());
+        assert!(BfsRepair::new(3).is_symmetry_invariant());
+        // Annealing mixes variable identity into its RNG hash, so its
+        // step count is not an orbit invariant.
+        assert!(!AnnealRepair::new(1.0, 0).is_symmetry_invariant());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use resilience_telemetry::{Event, MetricsRegistry, Tracer};
 
-use crate::maintainability::MaintainabilityReport;
+use crate::maintainability::{FrontierSummary, MaintainabilityReport};
 use crate::recoverability::{RecoverabilityReport, VerifyStats};
 
 /// Record one recoverability verification: a single
@@ -56,6 +56,11 @@ pub fn record_verification(
         "Distinct states assigned a distance by repair walks",
         stats.states_explored,
     );
+    registry.inc_counter(
+        "dcsp_verify_orbit_hits_total",
+        "Damage cases settled by symmetry-orbit multiplication without a repair walk",
+        stats.orbit_hits,
+    );
     registry.set_gauge(
         "dcsp_verify_cache_hit_rate",
         "Cache hit rate of the most recent verification",
@@ -96,15 +101,64 @@ pub fn record_maintainability(
         "Deepest backward-BFS level of the most recent analysis",
         frontier.len().saturating_sub(1) as f64,
     );
+    registry.set_gauge(
+        "dcsp_maintainability_frontier_peak",
+        "Largest single frontier of the most recent analysis",
+        frontier.iter().copied().max().unwrap_or(0) as f64,
+    );
+}
+
+/// Record one compressed-frontier maintainability run
+/// ([`FrontierSummary`]): the same [`Event::FrontierLevel`] stream and
+/// `dcsp_maintainability_*` metric family as
+/// [`record_maintainability`] — a dense report and a compressed summary
+/// of the same instance produce byte-identical telemetry, which
+/// `tests/symmetry_equivalence.rs` checks.
+pub fn record_frontier_summary(
+    tracer: &mut Tracer,
+    registry: &mut MetricsRegistry,
+    summary: &FrontierSummary,
+) {
+    for (depth, states) in summary.frontier_sizes.iter().enumerate() {
+        tracer.record(
+            depth as u64,
+            Event::FrontierLevel {
+                depth: depth as u32,
+                states: *states,
+            },
+        );
+    }
+    registry.inc_counter(
+        "dcsp_maintainability_states_total",
+        "States analyzed by backward BFS",
+        summary.total_states(),
+    );
+    registry.inc_counter(
+        "dcsp_maintainability_hopeless_total",
+        "States from which normality is unreachable",
+        summary.hopeless,
+    );
+    registry.set_gauge(
+        "dcsp_maintainability_depth",
+        "Deepest backward-BFS level of the most recent analysis",
+        summary.frontier_sizes.len().saturating_sub(1) as f64,
+    );
+    registry.set_gauge(
+        "dcsp_maintainability_frontier_peak",
+        "Largest single frontier of the most recent analysis",
+        summary.frontier_peak() as f64,
+    );
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::maintainability::analyze_bit_dcsp;
-    use crate::recoverability::is_k_recoverable_exhaustive_stats;
+    use crate::maintainability::{analyze_bit_dcsp, analyze_bit_dcsp_frontiers};
+    use crate::recoverability::{
+        is_k_recoverable_exhaustive_stats, is_k_recoverable_symmetric_stats,
+    };
     use crate::repair::GreedyRepair;
-    use resilience_core::{AtLeastOnes, Config};
+    use resilience_core::{AtLeastOnes, Config, RunContext};
 
     #[test]
     fn verification_telemetry_reconciles_with_the_report() {
@@ -150,5 +204,42 @@ mod tests {
         assert!(registry
             .to_prometheus()
             .contains("dcsp_maintainability_states_total"));
+    }
+
+    #[test]
+    fn orbit_hits_flow_into_the_exposition() {
+        let start = Config::ones(10);
+        let env = AtLeastOnes::new(10, 6);
+        let ctx = RunContext::new(0);
+        let (report, stats) =
+            is_k_recoverable_symmetric_stats(&start, &env, &GreedyRepair::new(), 3, 4, &ctx)
+                .expect("counting constraints declare symmetry");
+        let mut tracer = Tracer::new();
+        let mut registry = MetricsRegistry::new();
+        record_verification(&mut tracer, &mut registry, &report, &stats);
+        let prom = registry.to_prometheus();
+        assert!(stats.orbit_hits > 0);
+        assert!(prom.contains(&format!(
+            "dcsp_verify_orbit_hits_total {}",
+            stats.orbit_hits
+        )));
+    }
+
+    #[test]
+    fn dense_and_compressed_maintainability_telemetry_agree() {
+        let env = AtLeastOnes::new(8, 5);
+        let report = analyze_bit_dcsp(8, &env);
+        let summary = analyze_bit_dcsp_frontiers(8, &env, 2);
+        let mut tracer_a = Tracer::new();
+        let mut registry_a = MetricsRegistry::new();
+        record_maintainability(&mut tracer_a, &mut registry_a, &report);
+        let mut tracer_b = Tracer::new();
+        let mut registry_b = MetricsRegistry::new();
+        record_frontier_summary(&mut tracer_b, &mut registry_b, &summary);
+        assert_eq!(tracer_a.merged(), tracer_b.merged());
+        assert_eq!(registry_a.to_prometheus(), registry_b.to_prometheus());
+        assert!(registry_b
+            .to_prometheus()
+            .contains("dcsp_maintainability_frontier_peak"));
     }
 }
