@@ -38,12 +38,25 @@
 //! every summary is bit-identical at one and four threads (the source
 //! of the checked-in `BENCH_7.json`).
 //!
+//! `bench_smoke anticipate` measures the cost of the anticipation layer
+//! on the chaos-serving workload. Overhead is isolated with a pinned
+//! configuration — detector, loss window, and mode controller run every
+//! tick but thresholds sit above the score ceiling and every policy is
+//! inert, so the run's decisions are byte-identical to the reactive
+//! arm's and the wall-time ratio prices only the watching machinery
+//! (interleaved rounds, median of per-round ratios, gated at ≤ 1.15x).
+//! It also cross-checks that the real anticipatory configuration beats
+//! the reactive R with zero hard failures and that its full report is
+//! byte-identical across thread budgets (the source of the checked-in
+//! `BENCH_8.json`).
+//!
 //! ```bash
 //! cargo run --release -p resilience-bench --bin bench_smoke > BENCH_2.json
 //! cargo run --release -p resilience-bench --bin bench_smoke -- faults > BENCH_3.json
 //! cargo run --release -p resilience-bench --bin bench_smoke -- telemetry > BENCH_5.json
 //! cargo run --release -p resilience-bench --bin bench_smoke -- cluster > BENCH_6.json
 //! cargo run --release -p resilience-bench --bin bench_smoke -- dcsp > BENCH_7.json
+//! cargo run --release -p resilience-bench --bin bench_smoke -- anticipate > BENCH_8.json
 //! ```
 
 // Drivers surface failures as `die(...)` usage errors or documented
@@ -558,6 +571,196 @@ fn run_cluster_smoke(reps: usize) {
 }
 
 #[derive(Serialize)]
+struct AnticipationOverhead {
+    requests: u64,
+    seed: u64,
+    chaos_plan: String,
+    /// Serves per timing round (one round = this many full replays).
+    serves_per_round: usize,
+    reactive_serves_per_sec: f64,
+    pinned_detector_serves_per_sec: f64,
+    /// Pinned-configuration wall time over reactive wall time, median
+    /// of interleaved per-round ratios (1.0 = free): the cost of
+    /// running the detector machinery with every decision unchanged.
+    /// Acceptance bar: 1.15.
+    anticipation_overhead: f64,
+    resilience_loss_reactive: f64,
+    resilience_loss_anticipatory: f64,
+    /// `R_reactive / R_anticipatory` (> 1 means anticipation wins).
+    resilience_improvement: f64,
+    anticipatory_failed: u64,
+    alert_ticks: u64,
+    emergency_ticks: u64,
+    mode_transitions: usize,
+}
+
+#[derive(Serialize)]
+struct AnticipateSmoke {
+    anticipation_overhead: AnticipationOverhead,
+    meta: Meta,
+}
+
+/// `bench_smoke anticipate`: anticipation-layer overhead + R-improvement
+/// and thread-invariance gates on the chaos-serving workload (source of
+/// BENCH_8.json).
+fn run_anticipate_smoke(reps: usize) {
+    use resilience_anticipate::AnticipationConfig;
+    use resilience_service::{RequestTrace, ServiceConfig, ServiceEngine, TraceSpec};
+
+    const REQUESTS: u64 = 600;
+    const SEED: u64 = 42;
+    const SERVES_PER_ROUND: usize = 40;
+    let chaos_spec = "seed=11,panic=0.1,delay=0.05,poison=0.1,permanent=0.05";
+
+    let trace = RequestTrace::generate(&TraceSpec::new(REQUESTS, SEED));
+    let plan = FaultConfig::parse(chaos_spec)
+        .expect("canned chaos spec parses")
+        .plan;
+    let serve_reactive = |threads: usize| {
+        ServiceEngine::new(ServiceConfig {
+            threads,
+            ..ServiceConfig::default()
+        })
+        .serve(&trace, &plan)
+    };
+    let serve_anticipatory = |threads: usize| {
+        ServiceEngine::new(ServiceConfig {
+            threads,
+            anticipation: Some(AnticipationConfig::default()),
+            ..ServiceConfig::default()
+        })
+        .serve(&trace, &plan)
+    };
+    // The pinned configuration: the detector, loss window, and mode
+    // controller run every tick, but the thresholds sit above the score
+    // ceiling (score ≤ 1) and every policy is inert, so the run makes
+    // exactly the reactive arm's decisions. Timing it against the
+    // reactive arm prices the watching machinery alone — the real
+    // configuration serves a different (higher-fidelity) mix, so its
+    // wall time measures delivered work, not overhead.
+    let pinned_config = || {
+        let mut cfg = AnticipationConfig::default();
+        cfg.detector.warn_on = 2.0;
+        cfg.switch.alert_on = 2.0;
+        cfg.switch.emergency_on = 2.0;
+        let inert = resilience_anticipate::ModePolicy {
+            brownout_floor: 0,
+            brownout_ceiling: 2,
+            cooldown_scale_milli: 1000,
+            deadline_scale_milli: 1000,
+            provisioning: resilience_anticipate::ProvisioningPolicy::SampleMean,
+        };
+        cfg.normal = inert.clone();
+        cfg.alert = inert.clone();
+        cfg.emergency = inert;
+        cfg
+    };
+    let serve_pinned = |threads: usize| {
+        ServiceEngine::new(ServiceConfig {
+            threads,
+            anticipation: Some(pinned_config()),
+            ..ServiceConfig::default()
+        })
+        .serve(&trace, &plan)
+    };
+
+    // Correctness gates first: the anticipatory report (the whole
+    // self-measurement, not just aggregates) is byte-identical across
+    // thread budgets, beats the reactive R, and never hard-fails.
+    let ant1 = serve_anticipatory(1);
+    let ant4 = serve_anticipatory(4);
+    let json1 = serde_json::to_string(&ant1).expect("service reports serialize");
+    let json4 = serde_json::to_string(&ant4).expect("service reports serialize");
+    if json1 != json4 {
+        eprintln!("FAIL: anticipatory service report depends on thread count");
+        std::process::exit(1);
+    }
+    let react = serve_reactive(1);
+    if ant1.failed() != 0 {
+        eprintln!(
+            "FAIL: {} hard failures with anticipation on; pre-dimming must not drop requests",
+            ant1.failed()
+        );
+        std::process::exit(1);
+    }
+    let r_react = react.resilience_loss();
+    let r_ant = ant1.resilience_loss();
+    if !r_react.is_finite() || !r_ant.is_finite() || r_ant >= r_react {
+        eprintln!("FAIL: anticipation did not shrink R: R_ant={r_ant} R_react={r_react}");
+        std::process::exit(1);
+    }
+    // The pinned run must be behaviourally indistinguishable from the
+    // reactive one — otherwise the overhead ratio is not pricing the
+    // machinery alone.
+    let pinned = serve_pinned(1);
+    if pinned.outcomes != react.outcomes {
+        eprintln!("FAIL: pinned anticipation changed serving decisions");
+        std::process::exit(1);
+    }
+
+    // Interleave reactive and anticipatory rounds and gate on the median
+    // of the per-round ratios — separate batches would let machine-load
+    // drift masquerade as overhead (same discipline as the telemetry
+    // smoke).
+    std::hint::black_box(serve_pinned(1));
+    let round = |f: &dyn Fn(usize) -> resilience_service::ServiceReport| {
+        let start = Instant::now();
+        for _ in 0..SERVES_PER_ROUND {
+            std::hint::black_box(f(1));
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let mut react_times = Vec::with_capacity(reps);
+    let mut ant_times = Vec::with_capacity(reps);
+    let mut ratios = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let b = round(&serve_reactive);
+        let t = round(&serve_pinned);
+        react_times.push(b);
+        ant_times.push(t);
+        ratios.push(t / b);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let react_secs = median(&mut react_times);
+    let ant_secs = median(&mut ant_times);
+    let overhead = median(&mut ratios);
+    if overhead > 1.15 {
+        eprintln!("FAIL: anticipation overhead {overhead:.3}x exceeds the 1.15x budget");
+        std::process::exit(1);
+    }
+
+    let smoke = AnticipateSmoke {
+        anticipation_overhead: AnticipationOverhead {
+            requests: REQUESTS,
+            seed: SEED,
+            chaos_plan: chaos_spec.to_string(),
+            serves_per_round: SERVES_PER_ROUND,
+            reactive_serves_per_sec: SERVES_PER_ROUND as f64 / react_secs,
+            pinned_detector_serves_per_sec: SERVES_PER_ROUND as f64 / ant_secs,
+            anticipation_overhead: overhead,
+            resilience_loss_reactive: r_react,
+            resilience_loss_anticipatory: r_ant,
+            resilience_improvement: r_react / r_ant,
+            anticipatory_failed: ant1.failed(),
+            alert_ticks: ant1.alert_ticks,
+            emergency_ticks: ant1.emergency_ticks,
+            mode_transitions: ant1.mode_transitions.len(),
+        },
+        meta: make_meta(
+            reps,
+            "median wall seconds per round; overhead is the median of interleaved per-round ratios",
+        ),
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&smoke).expect("serializes")
+    );
+}
+
+#[derive(Serialize)]
 struct SymmetrySpeed {
     /// Damage cases covered by the n=24/d=4/k=4 AllOnes instance.
     n24_d4_cases: usize,
@@ -748,6 +951,10 @@ fn main() {
         }
         Some("dcsp") => {
             run_dcsp_smoke(reps);
+            return;
+        }
+        Some("anticipate") => {
+            run_anticipate_smoke(reps);
             return;
         }
         _ => {}

@@ -16,6 +16,7 @@
 //! serve --json                          # machine-readable single run
 //! serve --log                           # per-request outcome log lines
 //! serve --compare                       # degradation on vs off (BENCH_4.json)
+//! serve --compare-modes                 # anticipatory vs reactive (BENCH_8.json)
 //! serve --metrics-out m.json            # telemetry: metrics + deficit attribution
 //! serve --prom-out metrics.prom         # telemetry: Prometheus text exposition
 //! serve --trace-out trace.json          # telemetry: structured event trace
@@ -31,6 +32,11 @@
 //! degradation on), and prints the comparison JSON checked in as
 //! `BENCH_4.json` — exiting non-zero if any criterion fails, so CI
 //! running this binary doubles as an overload-behaviour smoke.
+//! `--compare-modes` does the same for the anticipation layer: the same
+//! trace and chaos plan served reactively (stock defense stack) and
+//! anticipatorily (early-warning detector + Normal/Alert/Emergency mode
+//! controller), self-checking that anticipation strictly shrinks the
+//! resilience triangle with zero hard failures.
 
 // Drivers surface failures as `die(...)` usage errors or documented
 // panics, never bare `unwrap()`.
@@ -99,6 +105,34 @@ struct CompareOutput {
     meta: Meta,
 }
 
+/// Mode-controller activity of the anticipatory arm.
+#[derive(Serialize)]
+struct ModeStats {
+    alert_ticks: u64,
+    emergency_ticks: u64,
+    mode_transitions: usize,
+}
+
+#[derive(Serialize)]
+struct ModeComparison {
+    resilience_loss_reactive: f64,
+    resilience_loss_anticipatory: f64,
+    /// `R_reactive / R_anticipatory` — how much smaller anticipation
+    /// makes the resilience triangle (> 1 means anticipation wins).
+    resilience_improvement: f64,
+    goodput_gain: f64,
+}
+
+#[derive(Serialize)]
+struct ModeCompareOutput {
+    workload: Workload,
+    reactive: Arm,
+    anticipatory: Arm,
+    anticipation: ModeStats,
+    comparison: ModeComparison,
+    meta: Meta,
+}
+
 #[derive(Serialize)]
 struct SingleOutput {
     workload: Workload,
@@ -153,6 +187,7 @@ fn die(msg: &str) -> ! {
     eprintln!("serve: {msg}");
     eprintln!("usage: serve [--requests N] [--seed N] [--threads N] [--fault-plan SPEC]");
     eprintln!("             [--degradation on|off] [--json] [--log] [--compare]");
+    eprintln!("             [--compare-modes]");
     eprintln!("             [--metrics-out PATH] [--prom-out PATH] [--trace-out PATH]");
     std::process::exit(2);
 }
@@ -236,6 +271,7 @@ fn main() {
     let mut json = false;
     let mut log = false;
     let mut compare = false;
+    let mut compare_modes = false;
     let mut telemetry_out = TelemetryOut::default();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -286,6 +322,7 @@ fn main() {
             "--json" => json = true,
             "--log" => log = true,
             "--compare" => compare = true,
+            "--compare-modes" => compare_modes = true,
             "--metrics-out" => {
                 telemetry_out.metrics = Some(
                     it.next()
@@ -306,7 +343,7 @@ fn main() {
     }
 
     let chaos_spec = fault_spec.unwrap_or_else(|| {
-        if compare {
+        if compare || compare_modes {
             DEFAULT_CHAOS.to_string()
         } else {
             String::new()
@@ -349,6 +386,71 @@ fn main() {
         })
         .serve_traced(&trace, &plan, tel)
     };
+
+    if compare_modes {
+        if compare {
+            die("--compare and --compare-modes are mutually exclusive");
+        }
+        let anticipatory_config = ServiceConfig {
+            threads,
+            anticipation: Some(resilience_anticipate::AnticipationConfig::default()),
+            ..ServiceConfig::default()
+        };
+        // Telemetry (if requested) observes the anticipatory arm — the
+        // configuration under test.
+        let ant = if telemetry_out.any() {
+            let mut tel = Telemetry::new(1.0);
+            let ant = ServiceEngine::new(anticipatory_config).serve_traced(&trace, &plan, &mut tel);
+            telemetry_out.write(&tel);
+            ant
+        } else {
+            ServiceEngine::new(anticipatory_config).serve(&trace, &plan)
+        };
+        let react = run(true);
+        // Acceptance criteria — anticipation must see collapse coming
+        // without trading availability for the early warning.
+        if ant.failed() != 0 {
+            fail(&format!(
+                "{} hard failures with anticipation on; pre-dimming must not drop requests",
+                ant.failed()
+            ));
+        }
+        if ant.shed_rate() >= 1.0 || react.shed_rate() >= 1.0 {
+            fail("shed rate reached 100%: the service served nothing");
+        }
+        if !ant.resilience_loss().is_finite() || !react.resilience_loss().is_finite() {
+            fail("non-finite resilience loss");
+        }
+        if ant.resilience_loss() >= react.resilience_loss() {
+            fail(&format!(
+                "anticipation did not shrink the resilience triangle: R_ant={} R_react={}",
+                ant.resilience_loss(),
+                react.resilience_loss()
+            ));
+        }
+        let output = ModeCompareOutput {
+            workload,
+            comparison: ModeComparison {
+                resilience_loss_reactive: react.resilience_loss(),
+                resilience_loss_anticipatory: ant.resilience_loss(),
+                resilience_improvement: react.resilience_loss() / ant.resilience_loss(),
+                goodput_gain: ant.goodput() - react.goodput(),
+            },
+            anticipation: ModeStats {
+                alert_ticks: ant.alert_ticks,
+                emergency_ticks: ant.emergency_ticks,
+                mode_transitions: ant.mode_transitions.len(),
+            },
+            reactive: arm(&react),
+            anticipatory: arm(&ant),
+            meta: meta(threads),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&output).expect("serializes")
+        );
+        return;
+    }
 
     if compare {
         let on = if telemetry_out.any() {

@@ -1,8 +1,11 @@
 //! One module per experiment; see DESIGN.md's experiment index.
 //!
 //! Numbered `eN` experiments reproduce single claims; the `cluster_*`
-//! family runs the multi-node cascade simulator (`crates/cluster`).
+//! family runs the multi-node cascade simulator (`crates/cluster`);
+//! `anticipate_modes` pits the anticipation layer (`crates/anticipate`)
+//! against the purely reactive service defense stack.
 
+pub mod a01_anticipate_modes;
 pub mod c01_cluster_attack;
 pub mod c02_cluster_cascade;
 pub mod c03_cluster_burn;
@@ -65,6 +68,7 @@ pub fn registry() -> Vec<(&'static str, Runner)> {
         ("cluster_attack", c01_cluster_attack::run),
         ("cluster_cascade", c02_cluster_cascade::run),
         ("cluster_burn", c03_cluster_burn::run),
+        ("anticipate_modes", a01_anticipate_modes::run),
     ]
 }
 
@@ -75,14 +79,19 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ordered() {
         let reg = registry();
-        assert_eq!(reg.len(), 25);
+        assert_eq!(reg.len(), 26);
         for (i, (id, _)) in reg.iter().take(22).enumerate() {
             assert_eq!(*id, format!("e{}", i + 1));
         }
-        let cluster: Vec<&str> = reg.iter().skip(22).map(|(id, _)| *id).collect();
+        let extras: Vec<&str> = reg.iter().skip(22).map(|(id, _)| *id).collect();
         assert_eq!(
-            cluster,
-            vec!["cluster_attack", "cluster_cascade", "cluster_burn"]
+            extras,
+            vec![
+                "cluster_attack",
+                "cluster_cascade",
+                "cluster_burn",
+                "anticipate_modes"
+            ]
         );
     }
 }

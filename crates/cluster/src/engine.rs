@@ -34,6 +34,7 @@ use crate::cascade::{propagate, CascadeScratch, CascadeStats};
 use crate::node::NodeFleet;
 use crate::topology::{CsrTopology, TopologyKind};
 use rand::Rng;
+use resilience_anticipate::OperatingMode;
 use resilience_core::{resilience_loss, seeded_rng, FaultKind, FaultPlan, RecoveryPolicy};
 use resilience_dcsp::BitWords;
 use resilience_networks::AttackStrategy;
@@ -69,6 +70,11 @@ pub struct ClusterConfig {
     pub recovery: RecoveryPolicy,
     /// Prescribed-burn policy.
     pub burn: BurnPolicy,
+    /// Per-node anticipatory mode switching (the cross-node MAPE-K
+    /// anticipation loop). `None` (the default) keeps the purely
+    /// reactive engine with outputs byte-identical to previous
+    /// releases.
+    pub anticipation: Option<NodeAnticipationConfig>,
 }
 
 impl ClusterConfig {
@@ -85,8 +91,71 @@ impl ClusterConfig {
             ticks: 60,
             recovery: RecoveryPolicy::default(),
             burn: BurnPolicy::None,
+            anticipation: None,
         }
     }
+}
+
+/// Tuning of per-node anticipatory mode switching.
+///
+/// Each alive node watches its *neighborhood cascade pressure*: the
+/// worse of two signals — the fraction of dead neighbors (the cascade
+/// front approaching) and its own load stress (how close it is to
+/// toppling). The pressure drives a per-node Normal/Alert/Emergency
+/// ladder with hysteresis; escalations fire the tick the threshold is
+/// crossed (a surge can cross a whole band in one tick), while
+/// de-escalations wait out the dwell — the anti-flap discipline lives
+/// on the release side. Each mode carries a local policy: Alert nodes
+/// drain excess load faster (serve it away before the front arrives),
+/// and Emergency nodes shed their excess outright (a voluntary,
+/// charged quality loss that keeps the node standing instead of
+/// toppling into the cascade).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeAnticipationConfig {
+    /// Enter Alert at or above this neighborhood pressure.
+    pub alert_on: f64,
+    /// Leave Alert for Normal below this pressure.
+    pub alert_off: f64,
+    /// Enter Emergency at or above this pressure.
+    pub emergency_on: f64,
+    /// Leave Emergency for Alert below this pressure.
+    pub emergency_off: f64,
+    /// Minimum ticks a node holds a mode before it may *de-escalate*
+    /// (escalations are never delayed).
+    pub dwell: u64,
+    /// Drain multiplier for Alert nodes, in milli-units (3000 = 3× the
+    /// configured drain, capped at full drain).
+    pub alert_drain_milli: u64,
+    /// Retained mode-shift log length; later shifts are only counted
+    /// (see [`ClusterReport::truncated_mode_shifts`]).
+    pub shift_cap: usize,
+}
+
+impl Default for NodeAnticipationConfig {
+    fn default() -> Self {
+        NodeAnticipationConfig {
+            alert_on: 0.25,
+            alert_off: 0.10,
+            emergency_on: 0.50,
+            emergency_off: 0.25,
+            dwell: 4,
+            alert_drain_milli: 3000,
+            shift_cap: 4096,
+        }
+    }
+}
+
+/// One recorded per-node mode change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeModeShift {
+    /// Tick of the change.
+    pub tick: u64,
+    /// Node id.
+    pub node: u32,
+    /// Mode left.
+    pub from: OperatingMode,
+    /// Mode entered.
+    pub to: OperatingMode,
 }
 
 /// An exogenous node-removal event.
@@ -151,6 +220,17 @@ pub struct ClusterReport {
     pub final_giant: u64,
     /// Smallest giant-component size seen at any scored tick.
     pub min_giant: u64,
+    /// Per-node mode changes of the anticipation loop, in tick order
+    /// (empty when anticipation is off; bounded by its configured cap).
+    pub mode_shifts: Vec<NodeModeShift>,
+    /// Mode shifts beyond the cap, counted but not retained.
+    pub truncated_mode_shifts: u64,
+    /// Node-ticks spent in Alert.
+    pub alert_node_ticks: u64,
+    /// Node-ticks spent in Emergency.
+    pub emergency_node_ticks: u64,
+    /// Load shed voluntarily by Emergency nodes, in load units.
+    pub anticipatory_shed: f64,
 }
 
 impl ClusterReport {
@@ -261,8 +341,22 @@ impl ClusterEngine {
             final_alive: 0,
             final_giant: 0,
             min_giant: u64::MAX,
+            mode_shifts: Vec::new(),
+            truncated_mode_shifts: 0,
+            alert_node_ticks: 0,
+            emergency_node_ticks: 0,
+            anticipatory_shed: 0.0,
         };
         let mut lost_count: u64 = 0;
+        // Per-node anticipation state: mode ladder position and the
+        // tick of each node's last change (`u64::MAX` = never changed,
+        // so the dwell cannot block a node's first escalation).
+        let mut modes: Vec<u8> = Vec::new();
+        let mut mode_changed_at: Vec<u64> = Vec::new();
+        if self.config.anticipation.is_some() {
+            modes = vec![0u8; n];
+            mode_changed_at = vec![u64::MAX; n];
+        }
 
         for tick in 0..self.config.ticks {
             // 1. Execute: fire due revivals in ascending node order.
@@ -425,13 +519,102 @@ impl ClusterEngine {
                 }
             }
 
-            // 8. Drain excess load on alive nodes.
+            // 7½. Anticipate: per-node mode switching from neighborhood
+            // cascade pressure. Runs after the cascade so the
+            // dead-neighbor census is current, and before the drain so
+            // Alert's faster drain applies this tick. Emergency nodes
+            // shed their excess outright — a voluntary, Shed-charged
+            // loss that keeps the node standing instead of toppling.
+            if let Some(acfg) = &self.config.anticipation {
+                let mode_of = |m: u8| match m {
+                    0 => OperatingMode::Normal,
+                    1 => OperatingMode::Alert,
+                    _ => OperatingMode::Emergency,
+                };
+                for v in 0..n {
+                    if !alive.get(v) {
+                        continue;
+                    }
+                    let neighbors = self.topology.neighbors(v);
+                    let dead = neighbors
+                        .iter()
+                        .filter(|&&u| !alive.get(u as usize))
+                        .count();
+                    let dead_frac = if neighbors.is_empty() {
+                        0.0
+                    } else {
+                        dead as f64 / neighbors.len() as f64
+                    };
+                    let span = fleet.capacity[v] - fleet.baseline[v];
+                    let stress = if span > 0.0 {
+                        ((fleet.load[v] - fleet.baseline[v]) / span).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    // The worse of the two signals, at full range: a
+                    // blend would cap stress-only pressure at half
+                    // scale, pushing Emergency past the topple point.
+                    let pressure = dead_frac.max(stress);
+                    let dwelled = mode_changed_at[v] == u64::MAX
+                        || tick.saturating_sub(mode_changed_at[v]) >= acfg.dwell;
+                    let current = modes[v];
+                    // Escalation is immediate — stress can cross a whole
+                    // band in one surge tick, and waiting out a dwell
+                    // there means toppling instead. Dwell gates only
+                    // de-escalation, where flapping actually lives.
+                    let next = match current {
+                        0 if pressure >= acfg.alert_on => 1,
+                        1 if pressure >= acfg.emergency_on => 2,
+                        1 if dwelled && pressure < acfg.alert_off => 0,
+                        2 if dwelled && pressure < acfg.emergency_off => 1,
+                        m => m,
+                    };
+                    if next != current {
+                        modes[v] = next;
+                        mode_changed_at[v] = tick;
+                        if report.mode_shifts.len() < acfg.shift_cap {
+                            report.mode_shifts.push(NodeModeShift {
+                                tick,
+                                node: v as u32,
+                                from: mode_of(current),
+                                to: mode_of(next),
+                            });
+                        } else {
+                            report.truncated_mode_shifts += 1;
+                        }
+                    }
+                    match modes[v] {
+                        1 => report.alert_node_ticks += 1,
+                        2 => {
+                            report.emergency_node_ticks += 1;
+                            let excess = fleet.load[v] - fleet.baseline[v];
+                            if excess > 0.0 {
+                                fleet.load[v] = fleet.baseline[v];
+                                report.anticipatory_shed += excess;
+                                shed_now += excess;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+
+            // 8. Drain excess load on alive nodes (Alert nodes drain
+            // faster — the anticipatory "serve it away before the front
+            // arrives" policy).
             if self.config.drain > 0.0 {
                 let keep = 1.0 - self.config.drain;
+                let alert_keep = self.config.anticipation.as_ref().map(|a| {
+                    1.0 - (self.config.drain * a.alert_drain_milli as f64 / 1000.0).min(1.0)
+                });
                 alive.for_each_one(|v| {
                     let excess = fleet.load[v] - fleet.baseline[v];
                     if excess != 0.0 {
-                        fleet.load[v] = fleet.baseline[v] + excess * keep;
+                        let k = match alert_keep {
+                            Some(ak) if modes[v] == 1 => ak,
+                            _ => keep,
+                        };
+                        fleet.load[v] = fleet.baseline[v] + excess * k;
                     }
                 });
             }
@@ -600,6 +783,76 @@ mod tests {
             att.total
         );
         assert_eq!(att.total, report.resilience_loss());
+    }
+
+    /// The surge regime used by the anticipation tests: grains smaller
+    /// than the headroom span, so stress accumulates across ticks and
+    /// the warning signal (rising load stress, then dead neighbors)
+    /// precedes the topple instead of arriving with it. Grains at 0.6
+    /// would collapse the whole fleet on tick 0 — nothing left to warn.
+    fn surge_config() -> ClusterConfig {
+        let mut config = small_config();
+        config.surge_drops = 80;
+        config.surge_grain = 0.05;
+        config.headroom = 0.4;
+        config.drain = 0.02;
+        config.ticks = 50;
+        config
+    }
+
+    #[test]
+    fn anticipation_off_is_byte_identical_to_the_previous_engine() {
+        // `anticipation: None` must leave every output untouched —
+        // same quality samples, same cascades, same attribution.
+        let engine = ClusterEngine::new(surge_config(), 9);
+        let report = engine.run(4, None, &FaultPlan::none());
+        assert!(report.mode_shifts.is_empty());
+        assert_eq!(report.alert_node_ticks, 0);
+        assert_eq!(report.anticipatory_shed, 0.0);
+        let again = engine.run(4, None, &FaultPlan::none());
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn anticipatory_cluster_beats_reactive_under_surge() {
+        let reactive = ClusterEngine::new(surge_config(), 9).run(4, None, &FaultPlan::none());
+        let mut config = surge_config();
+        config.anticipation = Some(NodeAnticipationConfig::default());
+        let anticipatory = ClusterEngine::new(config, 9).run(4, None, &FaultPlan::none());
+        assert!(
+            !anticipatory.mode_shifts.is_empty(),
+            "surge pressure must move node modes"
+        );
+        assert!(anticipatory.anticipatory_shed > 0.0);
+        assert!(
+            anticipatory.resilience_loss() < reactive.resilience_loss(),
+            "anticipation must lower R: anticipatory {} vs reactive {}",
+            anticipatory.resilience_loss(),
+            reactive.resilience_loss()
+        );
+        assert!(
+            anticipatory.total_toppled() < reactive.total_toppled(),
+            "voluntary shedding must prevent topples: {} vs {}",
+            anticipatory.total_toppled(),
+            reactive.total_toppled()
+        );
+        // The anticipatory run is still bit-replayable.
+        let mut config = surge_config();
+        config.anticipation = Some(NodeAnticipationConfig::default());
+        let again = ClusterEngine::new(config, 9).run(4, None, &FaultPlan::none());
+        assert_eq!(anticipatory, again);
+    }
+
+    #[test]
+    fn mode_shift_log_is_capped_deterministically() {
+        let mut config = surge_config();
+        config.anticipation = Some(NodeAnticipationConfig {
+            shift_cap: 5,
+            ..NodeAnticipationConfig::default()
+        });
+        let report = ClusterEngine::new(config, 9).run(4, None, &FaultPlan::none());
+        assert_eq!(report.mode_shifts.len(), 5);
+        assert!(report.truncated_mode_shifts > 0);
     }
 
     #[test]

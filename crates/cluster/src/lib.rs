@@ -63,8 +63,8 @@ pub mod topology;
 pub use burn::{select_most_stressed, BurnPolicy};
 pub use cascade::{propagate, CascadeScratch, CascadeStats};
 pub use engine::{
-    AttackSpec, CascadeRecord, ClusterConfig, ClusterEngine, ClusterReport, BURN_COST,
-    DISCONNECT_COST,
+    AttackSpec, CascadeRecord, ClusterConfig, ClusterEngine, ClusterReport, NodeAnticipationConfig,
+    NodeModeShift, BURN_COST, DISCONNECT_COST,
 };
 pub use node::{NodeFleet, NEVER};
 pub use telemetry::{record_cluster_events, record_cluster_metrics, CASCADE_SIZE_BOUNDS};

@@ -46,6 +46,34 @@ pub fn record_cluster_events(tracer: &mut Tracer, report: &ClusterReport) {
             },
         );
     }
+    // Mode census: replay the retained shift log and emit one census
+    // event per tick on which any node changed mode. Pure function of
+    // the report, like everything else here.
+    if !report.mode_shifts.is_empty() {
+        use resilience_anticipate::OperatingMode;
+        let mut alert: u64 = 0;
+        let mut emergency: u64 = 0;
+        let mut i = 0;
+        let shifts = &report.mode_shifts;
+        while i < shifts.len() {
+            let tick = shifts[i].tick;
+            while i < shifts.len() && shifts[i].tick == tick {
+                let s = &shifts[i];
+                match s.from {
+                    OperatingMode::Alert => alert = alert.saturating_sub(1),
+                    OperatingMode::Emergency => emergency = emergency.saturating_sub(1),
+                    OperatingMode::Normal => {}
+                }
+                match s.to {
+                    OperatingMode::Alert => alert += 1,
+                    OperatingMode::Emergency => emergency += 1,
+                    OperatingMode::Normal => {}
+                }
+                i += 1;
+            }
+            tracer.record(tick, Event::ClusterModeCensus { alert, emergency });
+        }
+    }
 }
 
 /// Histogram bounds for cascade sizes (powers of two — cascade-size
@@ -121,6 +149,30 @@ pub fn record_cluster_metrics(registry: &mut MetricsRegistry, report: &ClusterRe
             "Nodes lost per cascade (trigger + toppled)",
             &CASCADE_SIZE_BOUNDS,
             size as f64,
+        );
+    }
+    // Anticipation families only exist on runs where the loop acted:
+    // registering zeroed families would change reactive expositions.
+    if !report.mode_shifts.is_empty() || report.truncated_mode_shifts > 0 {
+        registry.inc_counter(
+            "cluster_mode_shifts_total",
+            "Per-node operating-mode changes of the anticipation loop",
+            report.mode_shifts.len() as u64 + report.truncated_mode_shifts,
+        );
+        registry.set_gauge(
+            "cluster_alert_node_ticks",
+            "Node-ticks spent in Alert mode",
+            report.alert_node_ticks as f64,
+        );
+        registry.set_gauge(
+            "cluster_emergency_node_ticks",
+            "Node-ticks spent in Emergency mode",
+            report.emergency_node_ticks as f64,
+        );
+        registry.set_gauge(
+            "cluster_anticipatory_shed",
+            "Load shed voluntarily by Emergency nodes, in load units",
+            report.anticipatory_shed,
         );
     }
 }

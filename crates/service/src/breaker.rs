@@ -86,6 +86,32 @@ impl CircuitBreaker {
         self.state
     }
 
+    /// The state an observer at `now` would see, without committing the
+    /// open → half-open lapse (no transition is recorded, no probe slot
+    /// is reset). Use this for read-only inspection — dashboards,
+    /// metrics, assertions — where `state_at`'s `&mut self` would
+    /// mutate history as a side effect of looking.
+    pub fn peek_state(&self, now: u64) -> BreakerState {
+        if self.state == BreakerState::Open && now >= self.opened_at + self.cooldown {
+            BreakerState::HalfOpen
+        } else {
+            self.state
+        }
+    }
+
+    /// Ticks the breaker stays open before probing.
+    pub fn cooldown(&self) -> u64 {
+        self.cooldown
+    }
+
+    /// Retune the cooldown (the anticipation layer widens it in
+    /// Emergency so a probe cannot re-close onto a still-collapsing
+    /// backend). Takes effect from the next trip *and* for any open
+    /// period still in progress.
+    pub fn set_cooldown(&mut self, cooldown: u64) {
+        self.cooldown = cooldown;
+    }
+
     /// Whether a new request may be sent to the backend at `now`. In
     /// half-open state only a single probe is allowed until it settles.
     pub fn allow(&mut self, now: u64) -> bool {
@@ -164,7 +190,7 @@ mod tests {
         assert!(b.allow(5), "two consecutive failures stay closed");
         b.record_failure(5);
         assert!(!b.allow(6), "third consecutive failure trips the breaker");
-        assert_eq!(b.state_at(6), BreakerState::Open);
+        assert_eq!(b.peek_state(6), BreakerState::Open);
     }
 
     #[test]
@@ -176,7 +202,7 @@ mod tests {
         b.on_admitted();
         assert!(!b.allow(5), "only one probe at a time");
         b.record_success(7);
-        assert_eq!(b.state_at(7), BreakerState::Closed);
+        assert_eq!(b.peek_state(7), BreakerState::Closed);
         assert!(b.allow(8));
         let states: Vec<_> = b.transitions().iter().map(|t| t.to).collect();
         assert_eq!(
@@ -196,7 +222,7 @@ mod tests {
         assert!(b.allow(5));
         b.on_admitted();
         b.record_failure(6);
-        assert_eq!(b.state_at(6), BreakerState::Open);
+        assert_eq!(b.peek_state(6), BreakerState::Open);
         assert!(!b.allow(10), "cooldown restarted at tick 6");
         assert!(b.allow(11));
     }
@@ -208,6 +234,33 @@ mod tests {
         // A request admitted before the trip fails mid-cooldown.
         b.record_failure(2);
         assert!(b.allow(5), "cooldown still counted from the trip at 0");
+    }
+
+    #[test]
+    fn peek_state_previews_the_lapse_without_committing_it() {
+        let mut b = CircuitBreaker::new(1, 5);
+        b.record_failure(0);
+        // The observer at tick 5 sees the due lapse...
+        assert_eq!(b.peek_state(5), BreakerState::HalfOpen);
+        // ...but nothing was committed: no transition recorded beyond
+        // the trip, and the next mutating read replays the same lapse.
+        assert_eq!(b.transitions().len(), 1);
+        assert_eq!(b.state_at(5), BreakerState::HalfOpen);
+        assert_eq!(b.transitions().len(), 2);
+    }
+
+    #[test]
+    fn widened_cooldown_extends_an_open_period_in_progress() {
+        let mut b = CircuitBreaker::new(1, 5);
+        b.record_failure(0);
+        b.set_cooldown(20);
+        assert_eq!(b.cooldown(), 20);
+        assert!(!b.allow(5), "old cooldown no longer applies");
+        assert_eq!(b.peek_state(19), BreakerState::Open);
+        assert!(
+            b.allow(20),
+            "probe allowed once the widened cooldown elapses"
+        );
     }
 
     #[test]

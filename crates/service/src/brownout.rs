@@ -24,6 +24,16 @@
 //! `lower_below`, with a minimum dwell) so the dimmer cannot flap, and
 //! every input is a logical-clock quantity — the level sequence replays
 //! exactly for any thread budget.
+//!
+//! The anticipation layer can impose a *floor* and a *ceiling* on the
+//! dimmer ([`BrownoutController::set_floor`],
+//! [`BrownoutController::set_ceiling`]): the effective level is the
+//! reactive level raised to the floor, then clamped to the ceiling.
+//! An Emergency policy pre-dims the service before any deficit arrives
+//! (floor 2); a calm Normal policy caps the occupancy-spooked reactive
+//! dimmer (ceiling 0) so quality is only spent when the warning score
+//! says collapse is actually approaching. The reactive machinery
+//! underneath keeps tracking pressure unchanged either way.
 
 /// Configuration of the brownout controller.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +48,13 @@ pub struct BrownoutConfig {
     pub dwell: u64,
     /// Trial divisor at level 1 (reduced fidelity).
     pub reduced_divisor: u64,
+    /// Retained history length: the first `history_cap` effective-level
+    /// changes are kept, later ones only counted (see
+    /// [`BrownoutController::truncated_history`]), so an arbitrarily
+    /// long trace cannot grow memory without bound. The truncation
+    /// point depends only on the change sequence itself — byte-identical
+    /// across thread budgets.
+    pub history_cap: usize,
 }
 
 impl Default for BrownoutConfig {
@@ -48,6 +65,7 @@ impl Default for BrownoutConfig {
             lower_below: 0.03,
             dwell: 8,
             reduced_divisor: 4,
+            history_cap: 4096,
         }
     }
 }
@@ -57,9 +75,12 @@ impl Default for BrownoutConfig {
 pub struct BrownoutController {
     config: BrownoutConfig,
     level: u8,
+    floor: u8,
+    ceiling: u8,
     pressure: f64,
     last_change: u64,
     history: Vec<(u64, u8)>,
+    truncated: u64,
 }
 
 impl BrownoutController {
@@ -68,15 +89,61 @@ impl BrownoutController {
         BrownoutController {
             config,
             level: 0,
+            floor: 0,
+            ceiling: 2,
             pressure: 0.0,
             last_change: 0,
             history: Vec::new(),
+            truncated: 0,
         }
     }
 
-    /// Current dimmer level (0 = full, 1 = reduced, 2 = cached).
+    /// Current effective dimmer level (0 = full, 1 = reduced,
+    /// 2 = cached): the reactive level, raised to any anticipatory
+    /// floor in force, then clamped to any anticipatory ceiling.
     pub fn level(&self) -> u8 {
-        self.level
+        self.level.max(self.floor).min(self.ceiling)
+    }
+
+    /// The anticipatory floor currently in force.
+    pub fn floor(&self) -> u8 {
+        self.floor
+    }
+
+    /// The anticipatory ceiling currently in force.
+    pub fn ceiling(&self) -> u8 {
+        self.ceiling
+    }
+
+    /// Impose a minimum dimmer level (clamped to 2). The effective
+    /// level changes immediately; the reactive level underneath keeps
+    /// tracking pressure so lifting the floor falls back to whatever
+    /// the reactive controller decided in the meantime. A floor change
+    /// that moves the effective level is recorded in the history at
+    /// `tick`.
+    pub fn set_floor(&mut self, tick: u64, floor: u8) {
+        let before = self.level();
+        self.floor = floor.min(2);
+        let after = self.level();
+        if after != before {
+            self.push_history(tick, after);
+        }
+    }
+
+    /// Impose a maximum dimmer level (the ceiling beats the floor when
+    /// they conflict). A calm-mode policy uses this to keep the
+    /// reactive dimmer from spending quality on pressure the warning
+    /// detector says is benign; the reactive level underneath keeps
+    /// tracking pressure, so raising the ceiling falls back to it. A
+    /// ceiling change that moves the effective level is recorded in the
+    /// history at `tick`.
+    pub fn set_ceiling(&mut self, tick: u64, ceiling: u8) {
+        let before = self.level();
+        self.ceiling = ceiling.min(2);
+        let after = self.level();
+        if after != before {
+            self.push_history(tick, after);
+        }
     }
 
     /// Smoothed pressure signal in `[0, 1]`.
@@ -84,9 +151,23 @@ impl BrownoutController {
         self.pressure
     }
 
-    /// `(tick, new level)` for every change so far.
+    /// `(tick, new effective level)` for the first
+    /// [`BrownoutConfig::history_cap`] changes, in tick order.
     pub fn history(&self) -> &[(u64, u8)] {
         &self.history
+    }
+
+    /// Level changes beyond the cap that were counted but not retained.
+    pub fn truncated_history(&self) -> u64 {
+        self.truncated
+    }
+
+    fn push_history(&mut self, tick: u64, level: u8) {
+        if self.history.len() < self.config.history_cap {
+            self.history.push((tick, level));
+        } else {
+            self.truncated += 1;
+        }
     }
 
     /// Feed one tick of self-measurement: `deficit` is the tick's
@@ -102,14 +183,19 @@ impl BrownoutController {
         if !dwelled {
             return;
         }
+        let before = self.level();
         if self.pressure > self.config.raise_above && self.level < 2 {
             self.level += 1;
             self.last_change = tick;
-            self.history.push((tick, self.level));
         } else if self.pressure < self.config.lower_below && self.level > 0 {
             self.level -= 1;
             self.last_change = tick;
-            self.history.push((tick, self.level));
+        } else {
+            return;
+        }
+        let after = self.level();
+        if after != before {
+            self.push_history(tick, after);
         }
     }
 }
@@ -185,5 +271,61 @@ mod tests {
             c.observe(t, 0.08, 0.0);
         }
         assert_eq!(c.level(), level, "mid-band pressure must hold the level");
+    }
+
+    #[test]
+    fn floor_pre_dims_and_lifting_it_restores_the_reactive_level() {
+        let mut c = controller();
+        assert_eq!(c.level(), 0);
+        c.set_floor(5, 2);
+        assert_eq!(c.level(), 2, "floor takes effect immediately");
+        assert_eq!(c.history(), &[(5, 2)], "effective change recorded");
+        // No pressure underneath: lifting the floor returns to full.
+        c.set_floor(9, 0);
+        assert_eq!(c.level(), 0);
+        assert_eq!(c.history(), &[(5, 2), (9, 0)]);
+    }
+
+    #[test]
+    fn redundant_floor_changes_leave_no_history() {
+        let mut c = controller();
+        for t in 0..50 {
+            c.observe(t, 0.9, 0.9);
+        }
+        assert_eq!(c.level(), 2);
+        let before = c.history().to_vec();
+        // Reactive level already at 2: a floor below it is invisible.
+        c.set_floor(50, 1);
+        c.set_floor(51, 0);
+        assert_eq!(c.history(), &before[..], "no effective change, no entry");
+    }
+
+    #[test]
+    fn ceiling_caps_the_reactive_dimmer() {
+        let mut c = controller();
+        c.set_ceiling(0, 0);
+        for t in 0..100 {
+            c.observe(t, 0.9, 0.9);
+        }
+        assert_eq!(c.level(), 0, "ceiling 0 must pin full fidelity");
+        // Raising the ceiling exposes the reactive level underneath.
+        c.set_ceiling(100, 2);
+        assert_eq!(c.level(), 2, "reactive level kept tracking pressure");
+        assert_eq!(c.history().last(), Some(&(100, 2)));
+    }
+
+    #[test]
+    fn history_is_capped_deterministically() {
+        let mut c = BrownoutController::new(BrownoutConfig {
+            history_cap: 3,
+            ..BrownoutConfig::default()
+        });
+        // Flap the floor to generate many effective-level changes.
+        for i in 0..10u64 {
+            c.set_floor(2 * i, 2);
+            c.set_floor(2 * i + 1, 0);
+        }
+        assert_eq!(c.history().len(), 3, "log capped at 3");
+        assert_eq!(c.truncated_history(), 17, "overflow counted exactly");
     }
 }

@@ -34,6 +34,9 @@
 //! its own resilience triangle.
 
 use rand::Rng;
+use resilience_anticipate::{
+    AnticipationConfig, AnticipationController, LossWindow, ModeTransition, OperatingMode,
+};
 use resilience_core::bruneau::resilience_loss;
 use resilience_core::faults::{FaultKind, FaultPlan, SlotFault};
 use resilience_core::quality::{QualityTrajectory, FULL_QUALITY};
@@ -74,6 +77,11 @@ pub struct ServiceConfig {
     pub trials_per_work_unit: u64,
     /// Physical worker threads for backend computations.
     pub threads: usize,
+    /// The anticipation loop: early-warning detection over the live
+    /// deficit stream plus Normal/Alert/Emergency policy switching.
+    /// `None` (the default) keeps the purely reactive serve path with
+    /// outputs byte-identical to previous releases.
+    pub anticipation: Option<AnticipationConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +98,7 @@ impl Default for ServiceConfig {
             cached_penalty: 0.5,
             trials_per_work_unit: 16,
             threads: 1,
+            anticipation: None,
         }
     }
 }
@@ -122,6 +131,16 @@ pub struct ServiceReport {
     pub breaker_transitions: Vec<Vec<BreakerTransition>>,
     /// Brownout level changes `(tick, level)`.
     pub brownout_history: Vec<(u64, u8)>,
+    /// Operating-mode transitions of the anticipation loop (empty when
+    /// anticipation is off; bounded by its configured cap).
+    pub mode_transitions: Vec<ModeTransition>,
+    /// Per-tick warning score in milli-units (empty when anticipation
+    /// is off).
+    pub warning_scores: Vec<u64>,
+    /// Ticks spent in Alert.
+    pub alert_ticks: u64,
+    /// Ticks spent in Emergency.
+    pub emergency_ticks: u64,
     /// The Q(t) trajectory (dt = 1 tick).
     pub quality: QualityTrajectory,
     /// Logical ticks the run spanned.
@@ -297,6 +316,34 @@ impl ServiceEngine {
             .map(|_| CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown))
             .collect();
         let mut brownout = BrownoutController::new(cfg.brownout.clone());
+        // The anticipation loop: a warning detector over the raw
+        // pressure signal, the mode state machine, and the loss window
+        // behind heavy-tail-aware provisioning. All logical-clock
+        // state — `None` leaves the reactive path untouched.
+        let mut anticipation = cfg.anticipation.as_ref().map(|a| {
+            (
+                AnticipationController::new(a.clone()),
+                LossWindow::new(a.loss_window),
+            )
+        });
+        // Mode-policy levers currently in force. The controller starts
+        // in Normal, so Normal's policy set applies from tick 0 — not
+        // only after the first transition.
+        let mut deadline_scale_milli: u64 = 1000;
+        let mut pressure_bias: f64 = 0.0;
+        if let Some(acfg) = cfg.anticipation.as_ref() {
+            brownout.set_floor(0, acfg.normal.brownout_floor);
+            brownout.set_ceiling(0, acfg.normal.brownout_ceiling);
+            deadline_scale_milli = acfg.normal.deadline_scale_milli;
+            let cooldown = cfg
+                .breaker_cooldown
+                .saturating_mul(acfg.normal.cooldown_scale_milli)
+                / 1000;
+            for breaker in breakers.iter_mut() {
+                breaker.set_cooldown(cooldown);
+            }
+        }
+        let mut warning_scores: Vec<u64> = Vec::new();
 
         let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
         let mut per_family = vec![FamilyStats::default(); n_families];
@@ -322,6 +369,8 @@ impl ServiceEngine {
         // emitted per family (occupancy events fire on change only).
         let mut seen_transitions = vec![0usize; n_families];
         let mut seen_brownout = 0usize;
+        let mut seen_modes = 0usize;
+        let mut last_warning: Option<u64> = None;
         let mut last_queued: Vec<Option<usize>> = vec![None; n_families];
 
         while pending > 0 {
@@ -429,6 +478,7 @@ impl ServiceEngine {
                     fault,
                     cached_values[fam],
                     delay_work,
+                    deadline_scale_milli,
                     tick,
                 );
                 let idx = usize::try_from(request.id).expect("request id fits usize");
@@ -505,17 +555,54 @@ impl ServiceEngine {
                 FULL_QUALITY * (1.0 - deficit / adjudicated as f64)
             };
             quality.push(q);
+            let occupancy = bulkheads
+                .iter()
+                .map(Bulkhead::occupancy)
+                .fold(0.0f64, f64::max);
+            let hard_deficit = if adjudicated == 0 {
+                0.0
+            } else {
+                hard as f64 / adjudicated as f64
+            };
             if cfg.degradation {
-                let occupancy = bulkheads
-                    .iter()
-                    .map(Bulkhead::occupancy)
-                    .fold(0.0f64, f64::max);
-                let hard_deficit = if adjudicated == 0 {
-                    0.0
-                } else {
-                    hard as f64 / adjudicated as f64
-                };
-                brownout.observe(tick, hard_deficit, occupancy);
+                // `pressure_bias` is the anticipatory provisioning
+                // estimate (0 in Normal): the dimmer steers by the
+                // larger of what is being lost now and what the loss
+                // distribution says to provision for.
+                brownout.observe(tick, hard_deficit.max(pressure_bias), occupancy);
+            }
+            if let Some((controller, losses)) = anticipation.as_mut() {
+                if adjudicated > 0 && deficit > 0.0 {
+                    losses.record(deficit / adjudicated as f64);
+                }
+                let before = controller.mode();
+                let mode = controller.observe(tick, hard_deficit.max(occupancy));
+                warning_scores.push(controller.score_milli());
+                if mode != before {
+                    let acfg = controller.config();
+                    let policy = acfg.policy(mode).clone();
+                    let (quantile_milli, heavy_alpha) =
+                        (acfg.quantile_milli, acfg.heavy_tail_alpha);
+                    brownout.set_floor(tick, policy.brownout_floor);
+                    brownout.set_ceiling(tick, policy.brownout_ceiling);
+                    let cooldown = cfg
+                        .breaker_cooldown
+                        .saturating_mul(policy.cooldown_scale_milli)
+                        / 1000;
+                    for breaker in breakers.iter_mut() {
+                        breaker.set_cooldown(cooldown);
+                    }
+                    deadline_scale_milli = policy.deadline_scale_milli;
+                    // Provisioning is re-estimated at mode changes (not
+                    // every tick): the quantile sort stays off the hot
+                    // path and the bias is constant within a mode.
+                    pressure_bias = match mode {
+                        OperatingMode::Normal => 0.0,
+                        _ => losses
+                            .provision(policy.provisioning, quantile_milli, heavy_alpha)
+                            .clamp(0.0, 1.0),
+                    };
+                }
             }
             if let Some(tel) = telemetry.as_deref_mut() {
                 // State-machine events surfaced once per change, in
@@ -540,6 +627,25 @@ impl ServiceEngine {
                         .record(tick, Event::BrownoutLevelChange { level });
                 }
                 seen_brownout = brownout.history().len();
+                if let Some((controller, _)) = anticipation.as_ref() {
+                    for t in &controller.transitions()[seen_modes..] {
+                        tel.tracer.record(
+                            tick,
+                            Event::ModeTransition {
+                                from: t.from.to_string(),
+                                to: t.to.to_string(),
+                                score_milli: t.score_milli,
+                            },
+                        );
+                    }
+                    seen_modes = controller.transitions().len();
+                    let score = controller.score_milli();
+                    if last_warning != Some(score) {
+                        tel.tracer
+                            .record(tick, Event::WarningScore { score_milli: score });
+                        last_warning = Some(score);
+                    }
+                }
                 for (fam, b) in bulkheads.iter().enumerate() {
                     let queued = b.queued();
                     if last_queued[fam] != Some(queued) {
@@ -567,11 +673,23 @@ impl ServiceEngine {
             .into_iter()
             .map(|o| o.expect("every request adjudicated"))
             .collect();
+        let (mode_transitions, alert_ticks, emergency_ticks) = match &anticipation {
+            Some((controller, _)) => (
+                controller.transitions().to_vec(),
+                controller.alert_ticks(),
+                controller.emergency_ticks(),
+            ),
+            None => (Vec::new(), 0, 0),
+        };
         let report = ServiceReport {
             outcomes,
             per_family,
             breaker_transitions: breakers.iter().map(|b| b.transitions().to_vec()).collect(),
             brownout_history: brownout.history().to_vec(),
+            mode_transitions,
+            warning_scores,
+            alert_ticks,
+            emergency_ticks,
             quality,
             ticks: tick,
         };
@@ -594,10 +712,17 @@ impl ServiceEngine {
         fault: Option<SlotFault>,
         cached_value: u64,
         delay_work: u64,
+        deadline_scale_milli: u64,
         tick: u64,
     ) -> Admission {
         let cfg = &self.config;
         let fault_kind = fault.map(|f| f.kind);
+        // The anticipation policy in force may tighten deadlines
+        // (scale < 1000): marginal requests degrade or shed at
+        // admission instead of piling onto queues the warning says are
+        // about to stop draining. Integer milli-scaling keeps the
+        // effective deadline a pure function of logical state.
+        let deadline = request.deadline.saturating_mul(deadline_scale_milli) / 1000;
 
         // Breaker gate first: a tripped backend accepts no new work.
         if !breaker.allow(tick) {
@@ -660,7 +785,7 @@ impl ServiceEngine {
                 } else {
                     0
                 };
-            if bulkhead.estimated_completion_ticks(work) <= request.deadline {
+            if bulkhead.estimated_completion_ticks(work) <= deadline {
                 bulkhead.admit(Job {
                     id: request.id,
                     work,
@@ -846,6 +971,39 @@ pub fn record_service_metrics(
                 "Served-request latency in logical ticks",
                 &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
                 latency as f64,
+            );
+        }
+    }
+    // Anticipation families only exist on anticipatory runs: an empty
+    // warning-score log means the loop was off, and registering zeroed
+    // families would change the reactive arm's exposition bytes.
+    if !report.warning_scores.is_empty() {
+        registry.inc_counter(
+            "anticipate_mode_transitions_total",
+            "Operating-mode changes of the anticipation loop",
+            report.mode_transitions.len() as u64,
+        );
+        registry.set_gauge(
+            "anticipate_alert_ticks",
+            "Ticks spent in Alert mode",
+            report.alert_ticks as f64,
+        );
+        registry.set_gauge(
+            "anticipate_emergency_ticks",
+            "Ticks spent in Emergency mode",
+            report.emergency_ticks as f64,
+        );
+        registry.set_gauge(
+            "anticipate_warning_score_milli",
+            "Final warning score of the run, in milli-units",
+            report.warning_scores.last().copied().unwrap_or(0) as f64,
+        );
+        for &score in &report.warning_scores {
+            registry.observe(
+                "anticipate_warning_score_ticks",
+                "Per-tick warning score in milli-units",
+                &[50.0, 100.0, 200.0, 350.0, 500.0, 750.0, 900.0],
+                score as f64,
             );
         }
     }

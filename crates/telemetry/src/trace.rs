@@ -178,6 +178,30 @@ pub enum Event {
         /// Excess load removed, in milli-units.
         relieved_milli: u64,
     },
+    /// The early-warning composite score changed (anticipation layer;
+    /// emitted on change, not per tick, to keep traces compact).
+    WarningScore {
+        /// Composite warning score in milli-units (0–1000).
+        score_milli: u64,
+    },
+    /// The anticipation loop switched operating mode (anticipation
+    /// layer).
+    ModeTransition {
+        /// Mode left (display form: `normal`/`alert`/`emergency`).
+        from: String,
+        /// Mode entered.
+        to: String,
+        /// Warning score at the switch, in milli-units.
+        score_milli: u64,
+    },
+    /// Per-tick census of cluster node operating modes (cluster layer;
+    /// emitted on change only).
+    ClusterModeCensus {
+        /// Nodes in Alert.
+        alert: u64,
+        /// Nodes in Emergency.
+        emergency: u64,
+    },
 }
 
 /// An [`Event`] stamped with its logical position. The triple
@@ -529,6 +553,31 @@ fn write_event_json(out: &mut String, ev: &TraceEvent) {
             ju64(out, *relieved_milli);
             out.push_str("}}");
         }
+        Event::WarningScore { score_milli } => {
+            out.push_str("{\"WarningScore\":{\"score_milli\":");
+            ju64(out, *score_milli);
+            out.push_str("}}");
+        }
+        Event::ModeTransition {
+            from,
+            to,
+            score_milli,
+        } => {
+            out.push_str("{\"ModeTransition\":{\"from\":");
+            jstr(out, from);
+            out.push_str(",\"to\":");
+            jstr(out, to);
+            out.push_str(",\"score_milli\":");
+            ju64(out, *score_milli);
+            out.push_str("}}");
+        }
+        Event::ClusterModeCensus { alert, emergency } => {
+            out.push_str("{\"ClusterModeCensus\":{\"alert\":");
+            ju64(out, *alert);
+            out.push_str(",\"emergency\":");
+            ju64(out, *emergency);
+            out.push_str("}}");
+        }
     }
     out.push('}');
 }
@@ -619,6 +668,16 @@ mod tests {
                 burns: 5,
                 nodes: 60,
                 relieved_milli: 9_001,
+            },
+            Event::WarningScore { score_milli: 437 },
+            Event::ModeTransition {
+                from: "normal".to_string(),
+                to: "alert".to_string(),
+                score_milli: 512,
+            },
+            Event::ClusterModeCensus {
+                alert: 12,
+                emergency: 3,
             },
         ]
     }

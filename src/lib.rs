@@ -28,6 +28,10 @@
 //!   event tracing, a metrics registry with Prometheus/JSON exposition,
 //!   chrome://tracing spans, and live Q(t) scoring with per-cause
 //!   deficit attribution.
+//! * [`anticipate`] — the anticipation layer: online early-warning
+//!   detection (critical slowing down) over the live deficit stream,
+//!   Normal/Alert/Emergency mode switching, and heavy-tail-aware loss
+//!   provisioning.
 //!
 //! # Quickstart
 //!
@@ -43,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 pub use resilience_agents as agents;
+pub use resilience_anticipate as anticipate;
 pub use resilience_cluster as cluster;
 pub use resilience_core as core;
 pub use resilience_dcsp as dcsp;

@@ -27,7 +27,7 @@ fn assert_thread_invariant(id: &str) {
 }
 
 /// The experiments this suite covers — must match the registry exactly.
-const ALL_IDS: [&str; 25] = [
+const ALL_IDS: [&str; 26] = [
     "e1",
     "e2",
     "e3",
@@ -53,6 +53,7 @@ const ALL_IDS: [&str; 25] = [
     "cluster_attack",
     "cluster_cascade",
     "cluster_burn",
+    "anticipate_modes",
 ];
 
 #[test]
@@ -105,6 +106,7 @@ thread_invariance_tests! {
     cluster_attack_thread_invariant => "cluster_attack",
     cluster_cascade_thread_invariant => "cluster_cascade",
     cluster_burn_thread_invariant => "cluster_burn",
+    anticipate_modes_thread_invariant => "anticipate_modes",
 }
 
 // ---------------------------------------------------------------------
